@@ -1,0 +1,129 @@
+"""E13 — Flash sale: the cache-hostile event from the paper's intro.
+
+A sale window combines a write burst (every sale item repriced at start
+and end), a traffic spike on exactly those items, and personalized
+prices. The experiment reports per-phase (before/during/after) page
+load times and staleness for the classic CDN vs. Speed Kit, plus the
+invalidation storm as seen by the sketch.
+"""
+
+import random
+
+import pytest
+
+from repro.harness import (
+    Scenario,
+    ScenarioSpec,
+    SimulationRunner,
+    format_table,
+    sparkline,
+)
+from repro.workload import (
+    CatalogConfig,
+    FlashSaleConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    generate_catalog,
+    generate_users,
+    make_flash_sale_trace,
+)
+
+from benchmarks.conftest import emit
+
+SALE = FlashSaleConfig(start=1200.0, end=1800.0, spike_rate=0.8)
+
+
+@pytest.fixture(scope="module")
+def sale_workload():
+    catalog = generate_catalog(
+        CatalogConfig(n_products=60), random.Random(0)
+    )
+    users = generate_users(
+        UserPopulationConfig(n_users=30, consent_fraction=1.0),
+        random.Random(1),
+    )
+    workload = WorkloadConfig(duration=3000.0, session_rate=0.2)
+    trace = make_flash_sale_trace(
+        catalog, users, workload, SALE, random.Random(2)
+    )
+    return catalog, users, trace
+
+
+@pytest.fixture(scope="module")
+def results(sale_workload):
+    catalog, users, trace = sale_workload
+    out = {}
+    for scenario in (Scenario.CLASSIC_CDN, Scenario.SPEED_KIT):
+        spec = ScenarioSpec(scenario=scenario)
+        out[scenario] = SimulationRunner(
+            spec, catalog, users, trace
+        ).run()
+    return out
+
+
+def phase_stats(result, sale):
+    """p50 PLT per sale phase from the recorded timeline."""
+    timeline = result.metrics.series("plt.timeline").points
+    phases = {"before": [], "during": [], "after": []}
+    for at, plt in timeline:
+        phases[sale.phase_of(at)].append(plt)
+    return {
+        phase: (
+            round(sorted(values)[len(values) // 2] * 1000, 1)
+            if values
+            else None
+        )
+        for phase, values in phases.items()
+    }
+
+
+def test_bench_e13_flash_sale(results, benchmark):
+    rows = []
+    for scenario, result in results.items():
+        stats = phase_stats(result, SALE)
+        rows.append(
+            {
+                "scenario": result.scenario_name,
+                "p50_before_ms": stats["before"],
+                "p50_during_ms": stats["during"],
+                "p50_after_ms": stats["after"],
+                "stale_frac": round(result.stale_read_fraction(), 4),
+                "violations": result.delta_violations,
+            }
+        )
+    speed_kit = results[Scenario.SPEED_KIT]
+    stale_series = speed_kit.metrics.series("invalidation.stale_keys")
+    storm = sparkline([v for _, v in stale_series.points], width=60)
+    emit(
+        "e13_flash_sale",
+        format_table(rows, title="E13: flash sale, per-phase p50 PLT")
+        + "\n\nsketch stale-key count over time (the invalidation storm):\n"
+        + storm,
+    )
+
+    classic = results[Scenario.CLASSIC_CDN]
+    # Speed Kit wins in every phase, most of all during the sale, when
+    # the classic CDN is busy missing on just-invalidated content.
+    sk_stats = phase_stats(speed_kit, SALE)
+    classic_stats = phase_stats(classic, SALE)
+    for phase in ("before", "during", "after"):
+        assert sk_stats[phase] < classic_stats[phase]
+    # The write burst never breaks the Δ bound.
+    assert speed_kit.delta_violations == 0
+    # The sketch absorbed the storm: stale keys spiked during the sale.
+    during_peak = max(
+        (
+            v
+            for t, v in stale_series.points
+            if SALE.start <= t < SALE.end + 300
+        ),
+        default=0,
+    )
+    before_peak = max(
+        (v for t, v in stale_series.points if t < SALE.start), default=0
+    )
+    assert during_peak > before_peak
+
+    benchmark.pedantic(
+        lambda: phase_stats(speed_kit, SALE), rounds=3, iterations=5
+    )

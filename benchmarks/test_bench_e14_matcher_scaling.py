@@ -1,0 +1,105 @@
+"""E14 — InvaliDB matcher scalability (the query grid).
+
+Reproduces the companion system's scalability claim: partitioning the
+subscription set shrinks per-node matching work linearly while results
+stay identical to a single flat matcher; two-dimensional partitioning
+additionally spreads the event stream. Reported per grid size: peak
+per-node work, load imbalance, and single-process matching throughput.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.harness import format_table
+from repro.invalidation import PartitionedMatcher
+from repro.origin import Document, Eq, Query
+from repro.origin.store import ChangeEvent
+
+from benchmarks.conftest import emit
+
+N_SUBSCRIPTIONS = 400
+N_EVENTS = 2000
+GRIDS = ((1, 1), (2, 2), (4, 4), (8, 8))
+
+
+def make_events(n, rng):
+    events = []
+    for i in range(n):
+        doc = Document(
+            collection="products",
+            doc_id=f"p{i}",
+            data={"category": f"cat-{rng.randrange(40)}", "price": i},
+            version=1,
+            updated_at=0.0,
+        )
+        events.append(
+            ChangeEvent(
+                collection="products",
+                doc_id=doc.doc_id,
+                before=None,
+                after=doc,
+                at=0.0,
+            )
+        )
+    return events
+
+
+def build_grid(query_partitions, object_partitions):
+    grid = PartitionedMatcher(query_partitions, object_partitions)
+    for i in range(N_SUBSCRIPTIONS):
+        grid.subscribe(
+            f"resource-{i}",
+            Query("products", Eq("category", f"cat-{i % 40}")),
+        )
+    return grid
+
+
+def test_bench_e14_matcher_scaling(benchmark):
+    rng = random.Random(0)
+    events = make_events(N_EVENTS, rng)
+    rows = []
+    flat_results = None
+    for q, o in GRIDS:
+        grid = build_grid(q, o)
+        started = time.perf_counter()
+        results = [grid.affected_resources(event) for event in events]
+        elapsed = time.perf_counter() - started
+        if flat_results is None:
+            flat_results = results
+        else:
+            assert results == flat_results  # identical semantics
+        rows.append(
+            {
+                "grid": f"{q}x{o}",
+                "nodes": q * o,
+                "peak_node_evals": grid.max_node_evaluations(),
+                "load_imbalance": round(grid.load_imbalance(), 2),
+                "events_per_sec": int(N_EVENTS / elapsed),
+            }
+        )
+    emit(
+        "e14_matcher_scaling",
+        format_table(
+            rows,
+            title=(
+                f"E14: query-grid scaling "
+                f"({N_SUBSCRIPTIONS} subscriptions, {N_EVENTS} events)"
+            ),
+        ),
+    )
+
+    # Peak per-node work shrinks ~linearly with query partitions.
+    peaks = [row["peak_node_evals"] for row in rows]
+    assert peaks[0] > 3 * peaks[2]  # 1x1 vs 4x4
+    assert peaks == sorted(peaks, reverse=True)
+    # Balance stays reasonable at every size.
+    assert all(row["load_imbalance"] < 3.0 for row in rows)
+
+    grid = build_grid(4, 4)
+    benchmark(
+        lambda: sum(
+            len(grid.affected_resources(event)) for event in events[:200]
+        )
+    )

@@ -1,0 +1,69 @@
+"""E16 — Regional PoPs: cache fragmentation vs. proximity.
+
+CDNs add PoPs for proximity, but every PoP is a separate cache: more
+regions mean colder caches per region (each must warm independently)
+while purge fan-out keeps all of them coherent. The experiment sweeps
+the region count on identical traffic and reports hit ratio, PLT, and
+origin load — plus the invariant that coherence is region-agnostic.
+"""
+
+import pytest
+
+from repro.harness import (
+    Scenario,
+    ScenarioSpec,
+    SimulationRunner,
+    format_table,
+)
+
+from benchmarks.conftest import emit
+
+REGION_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def sweep(workload):
+    catalog, users, trace = workload
+    results = {}
+    for n in REGION_COUNTS:
+        spec = ScenarioSpec(
+            scenario=Scenario.SPEED_KIT,
+            n_regions=n,
+            label=f"speed-kit-{n}-regions",
+        )
+        results[n] = SimulationRunner(spec, catalog, users, trace).run()
+    return results
+
+
+def test_bench_e16_regions(sweep, benchmark):
+    rows = []
+    for n in REGION_COUNTS:
+        result = sweep[n]
+        rows.append(
+            {
+                "regions": n,
+                "edge_share": round(result.layer_share("edge"), 3),
+                "hit_ratio": round(result.cache_hit_ratio(), 3),
+                "plt_p50_ms": round(result.plt.percentile(50) * 1000, 1),
+                "origin_reqs": result.origin_requests,
+                "violations": result.delta_violations,
+            }
+        )
+    emit(
+        "e16_regions",
+        format_table(rows, title="E16: regional PoP sweep"),
+    )
+
+    # Coherence holds at every region count — purges fan out globally.
+    for n in REGION_COUNTS:
+        assert sweep[n].delta_violations == 0
+    # More regions fragment the shared cache: origin load rises
+    # (weakly) because each regional PoP warms independently.
+    origin = [sweep[n].origin_requests for n in REGION_COUNTS]
+    assert origin[0] <= origin[-1]
+
+    benchmark.pedantic(
+        lambda: [sweep[n].cache_hit_ratio() for n in REGION_COUNTS],
+        rounds=5,
+        iterations=10,
+    )

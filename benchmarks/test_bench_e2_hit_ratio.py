@@ -1,0 +1,84 @@
+"""E2 — Cache hit ratio by content type.
+
+Reproduces the polyglot-caching claim: classic CDNs only accelerate
+static assets, while Speed Kit additionally caches pages, query
+results, and segment-personalized API content. Prints per-kind hit
+ratios per scenario.
+"""
+
+import pytest
+
+from repro.harness import Scenario, ScenarioSpec, format_table
+
+from benchmarks.conftest import emit
+
+KINDS = ("static", "page", "query", "api", "fragment")
+SCENARIOS = [
+    Scenario.BROWSER_ONLY,
+    Scenario.CLASSIC_CDN,
+    Scenario.SPEED_KIT,
+]
+
+
+@pytest.fixture(scope="module")
+def results(run_cached):
+    return {
+        scenario: run_cached(ScenarioSpec(scenario=scenario))
+        for scenario in SCENARIOS
+    }
+
+
+def test_bench_e2_hit_ratio(results, benchmark):
+    rows = []
+    for scenario in SCENARIOS:
+        result = results[scenario]
+        row = {"scenario": result.scenario_name}
+        for kind in KINDS:
+            row[kind] = round(result.hit_ratio_for_kind(kind), 3)
+        row["overall"] = round(result.cache_hit_ratio(), 3)
+        rows.append(row)
+    emit(
+        "e2_hit_ratio",
+        format_table(rows, title="E2: cache hit ratio by content type"),
+    )
+
+    # Bandwidth view: who served the bytes (origin egress is what the
+    # site operator pays for and what overloads backends).
+    bandwidth_rows = [
+        {
+            "scenario": results[s].scenario_name,
+            "origin_egress_mib": round(
+                results[s].origin_egress_bytes / 2**20, 1
+            ),
+            "edge_egress_mib": round(
+                results[s].edge_egress_bytes / 2**20, 1
+            ),
+        }
+        for s in SCENARIOS
+    ]
+    emit(
+        "e2_bandwidth",
+        format_table(bandwidth_rows, title="E2b: egress bandwidth"),
+    )
+
+    classic = results[Scenario.CLASSIC_CDN]
+    speed_kit = results[Scenario.SPEED_KIT]
+    # Static assets cache well everywhere.
+    assert classic.hit_ratio_for_kind("static") > 0.7
+    assert speed_kit.hit_ratio_for_kind("static") > 0.7
+    # Personalized page content is where Speed Kit pulls ahead.
+    assert speed_kit.hit_ratio_for_kind("page") > (
+        classic.hit_ratio_for_kind("page") + 0.2
+    )
+    # Per-user fragments are never cached by anyone (GDPR + semantics).
+    assert speed_kit.hit_ratio_for_kind("fragment") == 0.0
+    # Overall, Speed Kit answers more requests without the origin.
+    assert speed_kit.cache_hit_ratio() > classic.cache_hit_ratio()
+    # And the origin serves fewer bytes.
+    assert speed_kit.origin_egress_bytes < classic.origin_egress_bytes
+
+    benchmark.pedantic(
+        lambda: [results[s].cache_hit_ratio() for s in SCENARIOS],
+        rounds=5,
+        iterations=10,
+    )

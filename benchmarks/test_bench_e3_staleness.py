@@ -1,0 +1,74 @@
+"""E3 — Δ-atomicity: measured staleness stays within the bound.
+
+Reproduces the coherence table: for every sketch refresh interval Δ,
+the worst staleness any client observes is below Δ plus the purge
+latency, and the number of Δ-atomicity violations is zero. The classic
+CDN's staleness (bounded only by its TTL) is printed for contrast.
+"""
+
+import pytest
+
+from repro.harness import Scenario, ScenarioSpec, format_table
+
+from benchmarks.conftest import emit
+
+DELTAS = (10.0, 30.0, 60.0, 120.0)
+PURGE_LATENCY = 0.080
+
+
+@pytest.fixture(scope="module")
+def sweep(run_cached):
+    return {
+        delta: run_cached(
+            ScenarioSpec(scenario=Scenario.SPEED_KIT, delta=delta)
+        )
+        for delta in DELTAS
+    }
+
+
+def test_bench_e3_staleness(sweep, run_cached, benchmark):
+    classic = run_cached(ScenarioSpec(scenario=Scenario.CLASSIC_CDN))
+    rows = []
+    for delta in DELTAS:
+        result = sweep[delta]
+        rows.append(
+            {
+                "delta_s": delta,
+                "bound_s": round(delta + PURGE_LATENCY + 1.0, 3),
+                "max_staleness_s": round(result.max_staleness, 3),
+                "stale_read_frac": round(result.stale_read_fraction(), 4),
+                "violations": result.delta_violations,
+                "reads": result.reads_checked,
+            }
+        )
+    rows.append(
+        {
+            "delta_s": None,  # classic CDN has no Δ; TTL is the bound
+            "bound_s": 300.0,
+            "max_staleness_s": round(classic.max_staleness, 3),
+            "stale_read_frac": round(classic.stale_read_fraction(), 4),
+            "violations": classic.delta_violations,
+            "reads": classic.reads_checked,
+        }
+    )
+    emit(
+        "e3_staleness",
+        format_table(
+            rows, title="E3: staleness vs Δ (last row: classic CDN @TTL 300s)"
+        ),
+    )
+
+    for delta in DELTAS:
+        result = sweep[delta]
+        assert result.delta_violations == 0
+        assert result.max_staleness <= delta + PURGE_LATENCY + 1.0
+    # Tighter Δ gives (weakly) fresher data.
+    assert sweep[10.0].max_staleness <= sweep[120.0].max_staleness + 1e-9
+    # The classic CDN serves more stale reads than any Speed Kit Δ.
+    assert classic.stale_read_fraction() >= sweep[60.0].stale_read_fraction()
+
+    benchmark.pedantic(
+        lambda: max(sweep[d].max_staleness for d in DELTAS),
+        rounds=5,
+        iterations=10,
+    )

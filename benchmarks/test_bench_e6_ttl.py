@@ -1,0 +1,91 @@
+"""E6 — TTL estimation quality (Quaestor-style adaptive TTLs).
+
+Reproduces the TTL-estimator table: for synthetic keys with known write
+rates, the estimator's TTL converges to the analytic optimum; and in
+the full simulation, adaptive TTLs reduce invalidation work on hot keys
+relative to one static TTL while keeping cold content cached long.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.harness import Scenario, ScenarioSpec, format_table
+from repro.ttl import TtlEstimator
+
+from benchmarks.conftest import emit
+
+THETA = 0.3
+
+
+def estimator_row(mean_gap: float, rng: random.Random) -> dict:
+    estimator = TtlEstimator(
+        target_invalidation_prob=THETA,
+        min_ttl=0.01,
+        max_ttl=10**7,
+        min_worthwhile=0.0,
+        ewma_alpha=0.2,
+    )
+    now = 0.0
+    for _ in range(300):
+        now += rng.expovariate(1.0 / mean_gap)
+        estimator.observe_write("k", now=now)
+    optimal = -math.log(1 - THETA) * mean_gap
+    estimated = estimator.ttl_for("k")
+    return {
+        "mean_write_gap_s": mean_gap,
+        "optimal_ttl_s": round(optimal, 2),
+        "estimated_ttl_s": round(estimated, 2),
+        "relative_error": round(abs(estimated - optimal) / optimal, 3),
+    }
+
+
+def test_bench_e6_estimator_convergence(benchmark):
+    rng = random.Random(42)
+    rows = [estimator_row(gap, rng) for gap in (5.0, 30.0, 120.0, 600.0)]
+    emit(
+        "e6_ttl_estimator",
+        format_table(
+            rows, title=f"E6a: TTL estimator vs Poisson optimum (θ={THETA})"
+        ),
+    )
+    for row in rows:
+        assert row["relative_error"] < 0.35
+    # TTLs scale with write gaps.
+    ttls = [row["estimated_ttl_s"] for row in rows]
+    assert ttls == sorted(ttls)
+
+    def kernel():
+        estimator = TtlEstimator()
+        for t in range(1000):
+            estimator.observe_write(f"k{t % 50}", now=float(t))
+        return estimator.ttl_for("k0")
+
+    benchmark(kernel)
+
+
+def test_bench_e6_adaptive_vs_static(run_cached, benchmark):
+    static = run_cached(ScenarioSpec(scenario=Scenario.SPEED_KIT))
+    adaptive = run_cached(
+        ScenarioSpec(
+            scenario=Scenario.SPEED_KIT,
+            adaptive_ttl=True,
+            label="speed-kit-adaptive-ttl",
+        )
+    )
+    rows = [static.summary_row(), adaptive.summary_row()]
+    emit(
+        "e6_ttl_scenarios",
+        format_table(rows, title="E6b: static vs adaptive TTLs"),
+    )
+    # Both stay Δ-atomic; adaptive must not be catastrophically worse
+    # on PLT (it trades longer TTLs for sketch-based invalidation).
+    assert adaptive.delta_violations == 0
+    assert adaptive.plt.percentile(50) < static.plt.percentile(50) * 1.5
+
+    benchmark.pedantic(
+        lambda: (static.summary_row(), adaptive.summary_row()),
+        rounds=5,
+        iterations=10,
+    )

@@ -1,0 +1,66 @@
+"""E7 — Personalization granularity: hit rate vs. number of segments.
+
+Reproduces the segment-caching trade-off figure: finer segmentation
+means more cache variants (lower hit rate, more origin traffic) but
+finer personalization; one shared variant caches perfectly but serves
+everyone the same content. The sweet spot in the paper's deployments
+is a handful of coarse segments.
+"""
+
+import pytest
+
+from repro.harness import Scenario, ScenarioSpec, format_table
+
+from benchmarks.conftest import emit
+
+SEGMENT_COUNTS = (1, 3, 9, 27)
+
+
+@pytest.fixture(scope="module")
+def sweep(run_cached):
+    return {
+        n: run_cached(
+            ScenarioSpec(
+                scenario=Scenario.SPEED_KIT,
+                n_segments=n,
+                label=f"speed-kit-{n}-segments",
+            )
+        )
+        for n in SEGMENT_COUNTS
+    }
+
+
+def test_bench_e7_segments(sweep, benchmark):
+    rows = []
+    for n in SEGMENT_COUNTS:
+        result = sweep[n]
+        rows.append(
+            {
+                "segments": n,
+                "page_hit_ratio": round(result.hit_ratio_for_kind("page"), 3),
+                "overall_hit_ratio": round(result.cache_hit_ratio(), 3),
+                "plt_p50_ms": round(result.plt.percentile(50) * 1000, 1),
+                "origin_reqs": result.origin_requests,
+            }
+        )
+    emit(
+        "e7_segments",
+        format_table(
+            rows, title="E7: hit ratio vs personalization granularity"
+        ),
+    )
+
+    # Coarser segmentation caches (weakly) better.
+    page_hits = [sweep[n].hit_ratio_for_kind("page") for n in SEGMENT_COUNTS]
+    assert page_hits[0] >= page_hits[-1]
+    origin = [sweep[n].origin_requests for n in SEGMENT_COUNTS]
+    assert origin[0] <= origin[-1]
+    # Even the finest segmentation remains Δ-atomic.
+    for n in SEGMENT_COUNTS:
+        assert sweep[n].delta_violations == 0
+
+    benchmark.pedantic(
+        lambda: [sweep[n].cache_hit_ratio() for n in SEGMENT_COUNTS],
+        rounds=5,
+        iterations=10,
+    )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""A step-by-step walkthrough of the Δ-atomicity coherence protocol.
+
+Shows the Cache Sketch mechanics on a timeline: how a key enters the
+server's counting Bloom filter on a write, how the client's stale
+snapshot bounds staleness by Δ, and how the key automatically leaves
+the filter once every handed-out copy has expired.
+
+Run:  python examples/coherence_walkthrough.py
+"""
+
+from repro.sketch import ServerCacheSketch
+
+KEY = "shop.example/product/42"
+
+
+def show(sketch: ServerCacheSketch, now: float, note: str) -> None:
+    snapshot = sketch.snapshot(now)
+    flag = "IN sketch " if snapshot.contains(KEY) else "not in sketch"
+    print(f"t={now:7.1f}s  [{flag}]  stale keys={sketch.stale_key_count(now)}  {note}")
+
+
+def main() -> None:
+    sketch = ServerCacheSketch(capacity=1000, target_fpr=0.01)
+
+    print("The server Cache Sketch tracks resources that are stale in")
+    print("some expiration-based cache. Timeline for one product page:\n")
+
+    show(sketch, 0.0, "initial state")
+
+    # A copy is handed out with a 120 s TTL.
+    sketch.report_read(KEY, expires_at=120.0, now=0.0)
+    show(sketch, 0.0, "copy handed out (fresh until t=120)")
+
+    # The product changes while that copy is live.
+    sketch.report_write(KEY, now=30.0)
+    show(sketch, 30.0, "WRITE: unexpired copies exist -> key added")
+
+    print()
+    print("Any client whose Bloom filter snapshot is younger than Δ now")
+    print("revalidates the page instead of serving its cached copy.")
+    print("A client holding a snapshot from just BEFORE t=30 may still")
+    print("serve the stale copy — but only until its snapshot ages past")
+    print("Δ, so staleness is bounded by Δ (+ pipeline latency).\n")
+
+    show(sketch, 60.0, "still flagged (copies unexpired)")
+    show(sketch, 119.9, "still flagged (last copy expires at 120)")
+    show(sketch, 120.0, "copies expired -> key removed automatically")
+
+    print()
+    print("After t=120, expiration alone guarantees coherence: no cache")
+    print("can hold the pre-write version, so the sketch stays small.")
+
+    # A second round shows that new fresh copies do not re-flag the key.
+    sketch.report_read(KEY, expires_at=300.0, now=130.0)
+    show(sketch, 130.0, "new copy of the CURRENT version handed out")
+    sketch.report_write(KEY, now=150.0)
+    show(sketch, 150.0, "another write -> flagged until t=300")
+    show(sketch, 300.0, "and removed again")
+
+    snapshot = sketch.snapshot(300.0)
+    print(
+        f"\nwire size of one client snapshot: "
+        f"{snapshot.transfer_size_bytes()} bytes "
+        f"({sketch.filter.bits} bits, {sketch.filter.hashes} hashes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""A news site under breaking-news churn: the freshness trade-off.
+
+Replays a high-churn workload (articles edited every few seconds, a
+live ticker, a relevance-ranked front page) against three
+configurations and prints the trade-off the paper's protocol manages:
+
+* classic CDN — fast, but stale up to the TTL;
+* Speed Kit (strict) — freshest, pays revalidation latency;
+* Speed Kit (stale-while-revalidate) — nearly classic speed with
+  staleness bounded by the SWR budget instead of the TTL.
+
+Run:  python examples/news_site.py
+"""
+
+import random
+
+from repro.harness import (
+    Scenario,
+    ScenarioSpec,
+    SimulationRunner,
+    format_table,
+)
+from repro.workload import (
+    CatalogConfig,
+    MediaPageBuilder,
+    UserPopulationConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    build_media_site,
+    generate_catalog,
+    generate_users,
+)
+
+
+def main() -> None:
+    articles = generate_catalog(CatalogConfig(n_products=40), random.Random(0))
+    readers = generate_users(UserPopulationConfig(n_users=25), random.Random(1))
+    workload = WorkloadConfig(
+        duration=1800.0,
+        session_rate=0.2,
+        write_rate=0.25,  # breaking news: an edit every ~4 seconds
+    )
+    trace = WorkloadGenerator(articles, readers, workload).generate(
+        random.Random(2)
+    )
+    print(
+        f"news workload: {len(trace.page_views())} page views, "
+        f"{len(trace.product_updates())} article edits over 30 min\n"
+    )
+
+    configurations = [
+        ("classic-cdn", dict(scenario=Scenario.CLASSIC_CDN)),
+        ("speed-kit (strict)", dict(scenario=Scenario.SPEED_KIT)),
+        (
+            "speed-kit (swr)",
+            dict(scenario=Scenario.SPEED_KIT, stale_while_revalidate=True),
+        ),
+    ]
+    rows = []
+    for label, kwargs in configurations:
+        print(f"running {label} ...")
+        result = SimulationRunner(
+            ScenarioSpec(label=label, **kwargs),
+            articles,
+            readers,
+            trace,
+            site_factory=build_media_site,
+            page_builder=MediaPageBuilder(),
+        ).run()
+        rows.append(
+            {
+                "configuration": label,
+                "plt_p50_ms": round(result.plt.percentile(50) * 1000, 1),
+                "stale_frac": round(result.stale_read_fraction(), 4),
+                "max_staleness_s": round(result.max_staleness, 1),
+                "violations": result.delta_violations,
+            }
+        )
+    print()
+    print(format_table(rows, title="Breaking-news churn: the trade-off"))
+    print(
+        "\nThe classic CDN's staleness is bounded only by its TTL; Speed"
+        "\nKit bounds it by Δ (strict) or the SWR budget — while matching"
+        "\nor beating the latency everywhere except the strictest mode."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Offline resilience: browsing through an origin outage.
+
+Injects a five-minute origin outage into one hour of shop traffic and
+compares how each delivery stack weathers it. The Speed Kit service
+worker keeps answering from its cache (trading the Δ freshness bound
+for availability, explicitly marked in its responses); classic stacks
+surface errors for everything they cannot serve fresh.
+
+Run:  python examples/offline_resilience.py
+"""
+
+import random
+
+from repro.harness import (
+    Scenario,
+    ScenarioSpec,
+    SimulationRunner,
+    format_table,
+)
+from repro.workload import (
+    CatalogConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_catalog,
+    generate_users,
+)
+
+OUTAGE = (600.0, 900.0)  # five dark minutes
+
+
+def main() -> None:
+    catalog = generate_catalog(CatalogConfig(n_products=60), random.Random(0))
+    users = generate_users(UserPopulationConfig(n_users=30), random.Random(1))
+    config = WorkloadConfig(duration=1800.0, session_rate=0.25)
+    trace = WorkloadGenerator(catalog, users, config).generate(random.Random(2))
+    print(
+        f"replaying {len(trace.page_views())} page views; origin down "
+        f"from t={OUTAGE[0]:.0f}s to t={OUTAGE[1]:.0f}s\n"
+    )
+
+    rows = []
+    for scenario in (
+        Scenario.NO_CACHE,
+        Scenario.CLASSIC_CDN,
+        Scenario.SPEED_KIT,
+    ):
+        spec = ScenarioSpec(scenario=scenario, outage=OUTAGE)
+        result = SimulationRunner(spec, catalog, users, trace).run()
+        rows.append(
+            {
+                "scenario": result.scenario_name,
+                "failed_responses": result.failed_responses,
+                "error_rate": round(result.error_rate(), 4),
+                "plt_p50_ms": round(result.plt.percentile(50) * 1000, 1),
+                "violations": result.delta_violations,
+            }
+        )
+    print(format_table(rows, title="Availability through the outage"))
+    print(
+        "\nSpeed Kit's remaining failures are per-user cart blocks, which"
+        "\ngenuinely require the origin; cached content keeps flowing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Quickstart: accelerate one page with Speed Kit, end to end.
+
+Builds a tiny shop, deploys the Speed Kit backend (origin + Cache
+Sketch + invalidation pipeline + CDN), installs a service worker for
+one user, and walks through the request lifecycle:
+
+1. cold fetch (origin),
+2. warm fetch (service worker cache, zero network),
+3. a product price change,
+4. sketch refresh → revalidation → fresh content.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.browser import Transport
+from repro.coherence import SketchClient
+from repro.http import Request, URL
+from repro.origin import (
+    PersonalizationKind,
+    ResourceKind,
+    ResourceSpec,
+    Site,
+)
+from repro.sim import Environment
+from repro.simnet.topology import two_tier
+from repro.speedkit import (
+    ConsentManager,
+    PiiVault,
+    SegmentResolver,
+    SegmentScheme,
+    ServiceWorkerProxy,
+    SpeedKitBackend,
+    SpeedKitConfig,
+)
+
+
+def build_site() -> Site:
+    site = Site()
+    site.add_route(
+        ResourceSpec(
+            name="product",
+            pattern="/product/{id}",
+            kind=ResourceKind.PAGE,
+            personalization=PersonalizationKind.SEGMENT,
+            doc_keys=lambda p: [f"products/{p['id']}"],
+            size_bytes=20_000,
+        )
+    )
+    site.store.put("products", "42", {"name": "sneaker", "price": 79.99})
+    return site
+
+
+def run_to_completion(env, generator):
+    process = env.process(generator)
+    while not process.triggered:
+        env.step()
+    return process.value
+
+
+def main() -> None:
+    env = Environment()
+    backend = SpeedKitBackend(env, build_site(), pop_names=["edge"])
+    topology = two_tier()
+    transport = Transport(env, topology, backend.server, random.Random(0))
+
+    # Client-side: vault + consent + segments + sketch, all on-device.
+    vault = PiiVault(user_id="alice", attributes={"tier": "gold", "locale": "de"})
+    consent = ConsentManager.all_granted()
+    worker = ServiceWorkerProxy(
+        node="client",
+        transport=transport,
+        cdn=backend.cdn,
+        config=SpeedKitConfig(
+            segment_personalized=["/product/*"],
+            sketch_refresh_interval=60.0,
+        ),
+        vault=vault,
+        consent=consent,
+        segments=SegmentResolver(SegmentScheme.ecommerce_default(), vault, consent),
+        sketch_client=SketchClient(
+            env, backend.sketch, topology, "client", random.Random(1)
+        ),
+    )
+
+    request = Request.get(URL.parse("/product/42"))
+
+    print("== 1. cold fetch ==")
+    start = env.now
+    response = run_to_completion(env, worker.fetch(request))
+    print(f"served by: {response.served_by}, version: {response.version}, "
+          f"took {(env.now - start) * 1000:.1f} ms (simulated)")
+
+    print("\n== 2. warm fetch ==")
+    start = env.now
+    response = run_to_completion(env, worker.fetch(request))
+    print(f"served by: {response.served_by}, version: {response.version}, "
+          f"took {(env.now - start) * 1000:.1f} ms")
+
+    print("\n== 3. price change at the origin ==")
+    backend.server.update("products", "42", {"price": 59.99}, at=env.now)
+    env.run(until=env.now + 1.0)  # let the invalidation pipeline work
+    print("pipeline processed the write (sketch updated, CDN purged)")
+
+    print("\n== 4. sketch refresh -> revalidation ==")
+    run_to_completion(env, worker.sketch_client.fetch_once())
+    start = env.now
+    response = run_to_completion(env, worker.fetch(request))
+    print(f"served by: {response.served_by}, version: {response.version}, "
+          f"took {(env.now - start) * 1000:.1f} ms")
+    assert response.version == 2, "expected the new version"
+    print("\nthe client saw the new price without ever sending its identity")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Baseline client stacks the paper compares against.
+
+Three baselines bracket Speed Kit:
+
+* :class:`NoCacheClient` — every request travels to the origin; the
+  lower bound nothing should fall below.
+* classic browser — :class:`~repro.browser.client.BrowserClient` in
+  ``DIRECT`` mode: private caching only.
+* classic CDN — :class:`BrowserClient` in ``CDN`` mode: the
+  conventional deployment. Personalized pages carry the session cookie
+  to the origin and come back ``private`` — the CDN can only
+  accelerate static assets, which is the paper's core motivation.
+
+:class:`CookieJarFetcher` models the browser attaching session cookies
+to every request — wrapped around baselines (the origin then
+personalizes and disables caching) and around the Speed Kit worker
+(which scrubs them before anything leaves the device).
+"""
+
+from repro.baselines.clients import CookieJarFetcher, NoCacheClient
+
+__all__ = ["CookieJarFetcher", "NoCacheClient"]

@@ -1,0 +1,50 @@
+"""Baseline fetchers and the cookie-attaching wrapper."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.browser.transport import Transport
+from repro.http.messages import Request
+
+
+class NoCacheClient:
+    """The no-caching-at-all baseline: every request hits the origin."""
+
+    def __init__(self, node: str, transport: Transport) -> None:
+        self.node = node
+        self.transport = transport
+
+    def fetch(self, request: Request) -> Generator:
+        response = yield from self.transport.fetch_direct(
+            self.node, request
+        )
+        return response
+
+
+class CookieJarFetcher:
+    """Wraps a fetcher, attaching the session cookie like a browser.
+
+    Browsers send cookies on *every* same-site request. Baselines
+    therefore leak the session to the origin on each fetch (forcing
+    personalized responses private); the Speed Kit worker receives the
+    same cookie-laden requests and scrubs them — the wrapper makes the
+    comparison honest.
+    """
+
+    def __init__(self, inner, user_id: Optional[str]) -> None:
+        self.inner = inner
+        self.user_id = user_id
+
+    def fetch(self, request: Request) -> Generator:
+        outgoing = request
+        if self.user_id is not None and "Cookie" not in request.headers:
+            outgoing = request.with_header(
+                "Cookie", f"session={self.user_id}"
+            )
+        response = yield from self.inner.fetch(outgoing)
+        return response
+
+    def __getattr__(self, name: str):
+        # Delegate everything else (cache, metrics, on_navigate, ...).
+        return getattr(self.inner, name)

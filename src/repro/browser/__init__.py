@@ -1,0 +1,33 @@
+"""The browser: private caching, transport, and page loading.
+
+A :class:`BrowserClient` fetches single resources through its private
+HTTP cache and a :class:`Transport` (direct-to-origin or via a CDN
+edge). The :class:`PageLoadEngine` composes resource fetches into whole
+page loads — HTML first, then waves of subresources — and reports the
+page load time (PLT) that every end-to-end experiment measures.
+
+The Speed Kit service worker (:mod:`repro.speedkit`) plugs in as an
+alternative fetcher between the page and the network.
+"""
+
+from repro.browser.cache import BrowserCache
+from repro.browser.client import BrowserClient, Fetcher, TransportMode
+from repro.browser.page import (
+    PageLoadEngine,
+    PageLoadResult,
+    PageResource,
+    PageSpec,
+)
+from repro.browser.transport import Transport
+
+__all__ = [
+    "BrowserCache",
+    "BrowserClient",
+    "Fetcher",
+    "PageLoadEngine",
+    "PageLoadResult",
+    "PageResource",
+    "PageSpec",
+    "Transport",
+    "TransportMode",
+]

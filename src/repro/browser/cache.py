@@ -1,0 +1,27 @@
+"""The browser's private HTTP cache."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cdn.cache import CacheStore
+from repro.cdn.httpcache import HttpCache
+from repro.sim.metrics import MetricRegistry
+
+
+class BrowserCache(HttpCache):
+    """Private per-device cache (``max-age``, may store ``private``)."""
+
+    METRIC_SCOPE = "browser"
+
+    def __init__(
+        self,
+        name: str,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = 50_000_000,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        store = CacheStore(
+            shared=False, max_entries=max_entries, max_bytes=max_bytes
+        )
+        super().__init__(name, store, metrics=metrics)

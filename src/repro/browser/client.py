@@ -1,0 +1,103 @@
+"""A browser client: private cache in front of a transport."""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Optional, Protocol
+
+from repro.browser.cache import BrowserCache
+from repro.cdn.network import Cdn
+from repro.browser.transport import Transport
+from repro.http.freshness import conditional_request_for
+from repro.http.messages import Request, Response, Status
+from repro.sim.metrics import MetricRegistry
+
+
+class Fetcher(Protocol):
+    """Anything that can resolve a request inside the simulation.
+
+    ``fetch`` is a generator sub-process: drive it with ``yield from``
+    and receive the :class:`Response` as its return value. The page
+    load engine composes fetchers; the Speed Kit service worker is an
+    alternative implementation of this protocol.
+    """
+
+    def fetch(self, request: Request) -> Generator:
+        ...  # pragma: no cover - protocol
+
+
+class TransportMode(enum.Enum):
+    """How a plain browser reaches the site."""
+
+    DIRECT = "direct"  # no CDN: straight to the origin
+    CDN = "cdn"  # classic CDN in front of the origin
+
+
+class BrowserClient:
+    """The baseline fetcher: browser cache + direct/CDN transport.
+
+    On a cache hit the response is returned with zero network time. On
+    a stale entry with an ETag the client revalidates conditionally; a
+    304 restamps the entry. Everything else is a full fetch through the
+    configured transport.
+    """
+
+    def __init__(
+        self,
+        node: str,
+        transport: Transport,
+        mode: TransportMode = TransportMode.DIRECT,
+        cdn: Optional[Cdn] = None,
+        cache: Optional[BrowserCache] = None,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        if mode is TransportMode.CDN and cdn is None:
+            raise ValueError("CDN mode needs a Cdn instance")
+        self.node = node
+        self.transport = transport
+        self.mode = mode
+        self.cdn = cdn
+        self.metrics = metrics or MetricRegistry()
+        self.cache = cache or BrowserCache(
+            f"browser:{node}", metrics=self.metrics
+        )
+
+    def _transport_fetch(self, request: Request) -> Generator:
+        if self.mode is TransportMode.CDN:
+            response = yield from self.transport.fetch_via_cdn(
+                self.node, request, self.cdn
+            )
+        else:
+            response = yield from self.transport.fetch_direct(
+                self.node, request
+            )
+        return response
+
+    def fetch(self, request: Request) -> Generator:
+        """Resolve one request (generator sub-process)."""
+        if not request.method.is_safe:
+            response = yield from self._transport_fetch(request)
+            return response
+        cached = self.cache.serve(request, self.transport.env.now)
+        if cached is not None:
+            return cached
+
+        base = self.cache.revalidation_base(
+            request, self.transport.env.now
+        )
+        if base is not None:
+            conditional = conditional_request_for(request, base)
+            response = yield from self._transport_fetch(conditional)
+            if response.status == Status.NOT_MODIFIED:
+                refreshed = self.cache.refresh(
+                    request, response, self.transport.env.now
+                )
+                if refreshed is not None:
+                    return refreshed
+                response = yield from self._transport_fetch(request)
+            return self.cache.admit(
+                request, response, self.transport.env.now
+            )
+
+        response = yield from self._transport_fetch(request)
+        return self.cache.admit(request, response, self.transport.env.now)

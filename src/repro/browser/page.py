@@ -1,0 +1,156 @@
+"""Page load model: composing resource fetches into page load times.
+
+A page is an HTML document plus waves of subresources. Wave 0 (the
+HTML) blocks everything; resources within a wave load in parallel
+(subject to a connection limit); wave *n+1* starts when wave *n*
+finishes — modelling discovery (CSS referencing fonts, scripts
+requesting data). The page load time is the span from navigation start
+until the last resource of the last wave has arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.http.messages import Request, Response
+from repro.http.url import URL
+from repro.sim.environment import Environment
+
+
+@dataclass(frozen=True)
+class PageResource:
+    """One subresource of a page."""
+
+    url: URL
+    wave: int = 1
+
+    def __post_init__(self) -> None:
+        if self.wave < 1:
+            raise ValueError(
+                f"subresource waves start at 1 (0 is the HTML): {self.wave}"
+            )
+
+
+@dataclass
+class PageSpec:
+    """A whole page: HTML plus subresources grouped in waves."""
+
+    name: str
+    html: URL
+    resources: List[PageResource] = field(default_factory=list)
+
+    def waves(self) -> List[List[PageResource]]:
+        """Subresources grouped by wave, in wave order."""
+        if not self.resources:
+            return []
+        by_wave: Dict[int, List[PageResource]] = {}
+        for resource in self.resources:
+            by_wave.setdefault(resource.wave, []).append(resource)
+        return [by_wave[wave] for wave in sorted(by_wave)]
+
+    @property
+    def request_count(self) -> int:
+        return 1 + len(self.resources)
+
+
+@dataclass
+class PageLoadResult:
+    """Outcome of one page load."""
+
+    page: str
+    started_at: float
+    finished_at: float
+    html_at: float
+    responses: List[Response]
+
+    @property
+    def plt(self) -> float:
+        """Page load time in simulated seconds."""
+        return self.finished_at - self.started_at
+
+    @property
+    def time_to_html(self) -> float:
+        """First-byte-ish proxy: when the HTML finished loading."""
+        return self.html_at - self.started_at
+
+    def served_by_counts(self) -> Dict[str, int]:
+        """How many responses each component served (cache attribution)."""
+        counts: Dict[str, int] = {}
+        for response in self.responses:
+            counts[response.served_by] = counts.get(response.served_by, 0) + 1
+        return counts
+
+
+class PageLoadEngine:
+    """Drives page loads through a fetcher.
+
+    ``max_parallel`` models the browser's per-host connection limit;
+    within a wave at most that many fetches are in flight at once.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fetcher,
+        max_parallel: int = 6,
+    ) -> None:
+        if max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1: {max_parallel}")
+        self.env = env
+        self.fetcher = fetcher
+        self.max_parallel = max_parallel
+
+    def load(
+        self, page: PageSpec, headers: Optional[dict] = None
+    ) -> Generator:
+        """Load a page (generator sub-process returning PageLoadResult)."""
+        from repro.http.headers import Headers
+
+        started_at = self.env.now
+        responses: List[Response] = []
+
+        html_request = Request.get(page.html, headers=Headers(headers or {}))
+        html_response = yield from self.fetcher.fetch(html_request)
+        responses.append(html_response)
+        html_at = self.env.now
+
+        for wave in page.waves():
+            wave_responses = yield from self._load_wave(wave, headers)
+            responses.extend(wave_responses)
+
+        return PageLoadResult(
+            page=page.name,
+            started_at=started_at,
+            finished_at=self.env.now,
+            html_at=html_at,
+            responses=responses,
+        )
+
+    def _load_wave(
+        self, wave: List[PageResource], headers: Optional[dict]
+    ) -> Generator:
+        """Fetch one wave with bounded parallelism."""
+        from repro.http.headers import Headers
+
+        pending = list(wave)
+        responses: List[Tuple[int, Response]] = []
+        # Launch in slots of max_parallel: a simple but faithful model
+        # of the browser's connection pool (slots refill as a batch).
+        index = 0
+        while index < len(pending):
+            batch = pending[index : index + self.max_parallel]
+            processes = []
+            for offset, resource in enumerate(batch):
+                request = Request.get(
+                    resource.url, headers=Headers(headers or {})
+                )
+                processes.append(
+                    self.env.process(self.fetcher.fetch(request))
+                )
+            done = yield self.env.all_of(processes)
+            for offset, process in enumerate(processes):
+                responses.append((index + offset, done[process]))
+            index += len(batch)
+        responses.sort(key=lambda pair: pair[0])
+        return [response for _, response in responses]

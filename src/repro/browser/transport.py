@@ -1,0 +1,180 @@
+"""Transport: moving requests across the simulated network.
+
+All methods are generator *sub-processes*: callers drive them with
+``yield from`` inside a simulation process. Time advances through the
+timeouts sampled from the topology's links; cache and origin logic is
+invoked synchronously at the simulated instant the message arrives.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional
+
+from repro.cdn.edge import EdgeCache
+from repro.cdn.network import Cdn
+from repro.http.freshness import conditional_request_for
+from repro.http.messages import (
+    Request,
+    Response,
+    Status,
+    make_not_modified,
+    revalidates,
+)
+from repro.origin.server import OriginServer
+from repro.sim.environment import Environment
+from repro.simnet.topology import Topology
+
+
+def _content_length(response: Response) -> int:
+    length = response.headers.get("Content-Length")
+    if length is None:
+        return 0
+    try:
+        return max(0, int(length))
+    except ValueError:
+        return 0
+
+
+class Transport:
+    """Routes requests from one client node across the topology."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        origin_server: OriginServer,
+        rng: random.Random,
+        origin_node: str = "origin",
+        faults=None,
+        metrics=None,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        self.origin_server = origin_server
+        self.rng = rng
+        self.origin_node = origin_node
+        self.faults = faults
+        self.metrics = metrics
+
+    def _count_bytes(self, which: str, response: Response) -> None:
+        """Egress accounting: who paid for these bytes."""
+        if self.metrics is not None:
+            self.metrics.counter(f"bytes.{which}").inc(
+                _content_length(response)
+            )
+
+    def _origin_handle(self, request: Request) -> Response:
+        """Let the origin answer — unless it is down right now."""
+        if self.faults is not None and self.faults.is_down(
+            self.origin_node, self.env.now
+        ):
+            from repro.http.headers import Headers
+
+            return Response(
+                status=Status.SERVICE_UNAVAILABLE,
+                headers=Headers({"Cache-Control": "no-store"}),
+                url=request.url,
+                served_by=self.origin_node,
+                generated_at=self.env.now,
+            )
+        return self.origin_server.handle(request, self.env.now)
+
+    # -- direct path --------------------------------------------------------
+
+    def fetch_direct(
+        self, client_node: str, request: Request
+    ) -> Generator:
+        """Client → origin, no intermediary cache."""
+        yield self.env.timeout(
+            self.topology.one_way(client_node, self.origin_node, self.rng)
+        )
+        response = self._origin_handle(request)
+        self._count_bytes("origin_egress", response)
+        link = self.topology.link(client_node, self.origin_node)
+        yield self.env.timeout(
+            link.one_way(self.rng) + link.transfer_time(_content_length(response))
+        )
+        return response
+
+    # -- CDN path --------------------------------------------------------------
+
+    def fetch_via_cdn(
+        self,
+        client_node: str,
+        request: Request,
+        cdn: Cdn,
+        edge_name: Optional[str] = None,
+    ) -> Generator:
+        """Client → nearest edge PoP → (origin on miss/stale)."""
+        if edge_name is None:
+            edge_name = self.topology.nearest_edge(client_node, self.rng)
+        edge = cdn.pop(edge_name)
+        yield self.env.timeout(
+            self.topology.one_way(client_node, edge_name, self.rng)
+        )
+        if edge.should_pass(request):
+            # Credentialed request: relay through the edge without any
+            # cache interaction.
+            response = yield from self._relay_to_origin(edge_name, request)
+        else:
+            response = edge.serve(request, self.env.now)
+            if response is None:
+                response = yield from self._fill_from_origin(
+                    edge_name, edge, request
+                )
+        # Honor the client's validators at the edge: a matching ETag
+        # turns the answer into a (cheap to transfer) 304.
+        if response.status == Status.OK and revalidates(request, response):
+            response = make_not_modified(response, at=response.generated_at)
+        self._count_bytes("edge_egress", response)
+        client_link = self.topology.link(client_node, edge_name)
+        yield self.env.timeout(
+            client_link.one_way(self.rng)
+            + client_link.transfer_time(_content_length(response))
+        )
+        return response
+
+    def _relay_to_origin(self, edge_name: str, request: Request) -> Generator:
+        """Edge-to-origin round trip with no cache involvement."""
+        origin_link = self.topology.link(edge_name, self.origin_node)
+        yield self.env.timeout(origin_link.one_way(self.rng))
+        response = self._origin_handle(request)
+        self._count_bytes("origin_egress", response)
+        yield self.env.timeout(
+            origin_link.one_way(self.rng)
+            + origin_link.transfer_time(_content_length(response))
+        )
+        return response
+
+    def _fill_from_origin(
+        self, edge_name: str, edge: EdgeCache, request: Request
+    ) -> Generator:
+        """Edge-side miss handling: conditional refetch where possible."""
+        base = edge.revalidation_base(request, self.env.now)
+        upstream_request = (
+            conditional_request_for(request, base)
+            if base is not None
+            else request
+        )
+        origin_link = self.topology.link(edge_name, self.origin_node)
+        yield self.env.timeout(origin_link.one_way(self.rng))
+        upstream = self._origin_handle(upstream_request)
+        self._count_bytes("origin_egress", upstream)
+        yield self.env.timeout(
+            origin_link.one_way(self.rng)
+            + origin_link.transfer_time(_content_length(upstream))
+        )
+        if upstream.status == Status.NOT_MODIFIED and base is not None:
+            refreshed = edge.refresh(request, upstream, self.env.now)
+            if refreshed is not None:
+                return refreshed
+            # Entry vanished between lookup and refresh: full refetch.
+            yield self.env.timeout(origin_link.one_way(self.rng))
+            upstream = self._origin_handle(request)
+            self._count_bytes("origin_egress", upstream)
+            yield self.env.timeout(
+                origin_link.one_way(self.rng)
+                + origin_link.transfer_time(_content_length(upstream))
+            )
+        return edge.admit(request, upstream, self.env.now)

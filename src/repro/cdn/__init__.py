@@ -1,0 +1,22 @@
+"""Expiration-based caching infrastructure: CDN edges and cache stores.
+
+:class:`CacheStore` is the generic TTL/LRU cache every layer reuses
+(CDN edges, the browser cache, the service worker cache).
+:class:`EdgeCache` wraps it with shared-cache HTTP semantics —
+admission, freshness, 304-refresh, purge. :class:`Cdn` groups edge PoPs
+and fans purges out to all of them.
+"""
+
+from repro.cdn.cache import CacheEntry, CacheStore, EvictionPolicy
+from repro.cdn.edge import EdgeCache
+from repro.cdn.httpcache import HttpCache
+from repro.cdn.network import Cdn
+
+__all__ = [
+    "CacheEntry",
+    "CacheStore",
+    "Cdn",
+    "EdgeCache",
+    "EvictionPolicy",
+    "HttpCache",
+]

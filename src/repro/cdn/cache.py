@@ -1,0 +1,204 @@
+"""Generic TTL-aware cache store with LRU eviction."""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.http.freshness import expires_at, is_fresh_at
+from repro.http.messages import Response
+
+
+class EvictionPolicy(enum.Enum):
+    """Which entry goes when the cache is full."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    LFU = "lfu"  # least hits since admission; ties broken oldest-first
+
+
+@dataclass
+class CacheEntry:
+    """One stored response plus bookkeeping."""
+
+    key: str
+    response: Response
+    stored_at: float
+    size_bytes: int
+    hits: int = 0
+
+    def expires_at(self, shared: bool) -> float:
+        return expires_at(self.response, shared)
+
+
+def _payload_size(response: Response) -> int:
+    """Size accounting: Content-Length if present, else body length."""
+    length = response.headers.get("Content-Length")
+    if length is not None:
+        try:
+            return max(0, int(length))
+        except ValueError:
+            pass
+    body = response.body
+    return len(body) if isinstance(body, (str, bytes)) else 0
+
+
+class CacheStore:
+    """A bounded map of cache keys to responses.
+
+    ``shared`` selects shared- vs. private-cache freshness semantics
+    (``s-maxage`` vs ``max-age``, ``private`` handling). Capacity may be
+    bounded by entry count and/or total payload bytes; eviction is LRU
+    by default.
+
+    The store itself never *refuses* stale entries on ``get`` — callers
+    (edge/browser logic) decide whether a stale entry is still useful
+    for revalidation. Use :meth:`get_fresh` for the common fast path.
+    """
+
+    def __init__(
+        self,
+        shared: bool,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        policy: EvictionPolicy = EvictionPolicy.LRU,
+    ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive: {max_entries}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive: {max_bytes}")
+        self.shared = shared
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.policy = policy
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._total_bytes = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- capacity ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def __iter__(self) -> Iterator[CacheEntry]:
+        return iter(list(self._entries.values()))
+
+    # -- core operations -----------------------------------------------------
+
+    def put(self, key: str, response: Response, now: float) -> CacheEntry:
+        """Store (or replace) an entry; evicts as needed."""
+        self.remove(key, count_as_invalidation=False)
+        size = _payload_size(response)
+        entry = CacheEntry(
+            key=key, response=response, stored_at=now, size_bytes=size
+        )
+        self._entries[key] = entry
+        self._total_bytes += size
+        self._evict_if_needed(protect=key)
+        return entry
+
+    def get(self, key: str, now: float) -> Optional[CacheEntry]:
+        """Return the entry regardless of freshness (None if absent)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if self.policy is EvictionPolicy.LRU:
+            self._entries.move_to_end(key)
+        entry.hits += 1
+        return entry
+
+    def get_fresh(self, key: str, now: float) -> Optional[CacheEntry]:
+        """Return the entry only if it is still fresh at ``now``."""
+        entry = self.get(key, now)
+        if entry is None:
+            return None
+        if not is_fresh_at(entry.response, now, self.shared):
+            return None
+        return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Look without touching recency or hit counters."""
+        return self._entries.get(key)
+
+    def remove(self, key: str, count_as_invalidation: bool = True) -> bool:
+        """Drop an entry; returns whether it existed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._total_bytes -= entry.size_bytes
+        if count_as_invalidation:
+            self.invalidations += 1
+        return True
+
+    def remove_prefix(self, prefix: str) -> int:
+        """Drop all entries whose key starts with ``prefix``."""
+        victims = [key for key in self._entries if key.startswith(prefix)]
+        for key in victims:
+            self.remove(key)
+        return len(victims)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._total_bytes = 0
+
+    def expire(self, now: float) -> int:
+        """Actively drop entries that are no longer fresh.
+
+        Real caches expire lazily; this is for tests and for measuring
+        live-entry statistics.
+        """
+        victims = [
+            key
+            for key, entry in self._entries.items()
+            if not is_fresh_at(entry.response, now, self.shared)
+        ]
+        for key in victims:
+            self.remove(key, count_as_invalidation=False)
+        return len(victims)
+
+    def _evict_if_needed(self, protect: str) -> None:
+        def over_capacity() -> bool:
+            if self.max_entries is not None and (
+                len(self._entries) > self.max_entries
+            ):
+                return True
+            if self.max_bytes is not None and (
+                self._total_bytes > self.max_bytes
+            ):
+                return True
+            return False
+
+        while over_capacity():
+            victim = self._pick_victim(protect)
+            if victim is None:
+                # The new entry alone exceeds capacity: keep it anyway
+                # (a cache that cannot hold its largest object would
+                # thrash forever).
+                break
+            self.remove(victim, count_as_invalidation=False)
+            self.evictions += 1
+
+    def _pick_victim(self, protect: str) -> Optional[str]:
+        candidates = [key for key in self._entries if key != protect]
+        if not candidates:
+            return None
+        if self.policy is EvictionPolicy.LFU:
+            # Iteration order is insertion order, so min() on hits
+            # naturally breaks ties oldest-first.
+            return min(candidates, key=lambda key: self._entries[key].hits)
+        # LRU: recency order is maintained by move_to_end on access.
+        # FIFO: insertion order. Either way the first candidate goes.
+        return candidates[0]

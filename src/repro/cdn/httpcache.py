@@ -1,0 +1,147 @@
+"""HTTP cache node logic shared by edges, browser caches, and the SW.
+
+Every caching node in the stack — CDN edge PoPs (shared), the browser
+HTTP cache and the service worker cache (private) — follows the same
+interaction protocol around a :class:`~repro.cdn.cache.CacheStore`:
+
+1. :meth:`serve` — a fresh copy, or ``None``;
+2. :meth:`revalidation_base` — a stale ETag'd entry worth a
+   conditional request;
+3. :meth:`admit` / :meth:`refresh` — fold an upstream 200 / 304 back in.
+
+Nodes are passive: they never touch the network or the clock. The
+transport layer owns time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.http.freshness import is_cacheable
+from repro.http.messages import Request, Response, Status
+from repro.sim.metrics import MetricRegistry
+
+
+class HttpCache:
+    """A passive caching node wrapping a :class:`CacheStore`."""
+
+    #: Metric name prefix; subclasses override ("edge", "browser", "sw").
+    METRIC_SCOPE = "cache"
+
+    def __init__(
+        self,
+        name: str,
+        store,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.store = store
+        self.metrics = metrics or MetricRegistry()
+
+    @property
+    def shared(self) -> bool:
+        return self.store.shared
+
+    def _count(self, which: str) -> None:
+        self.metrics.counter(
+            f"{self.METRIC_SCOPE}.{self.name}.{which}"
+        ).inc()
+
+    # -- request protocol ---------------------------------------------------
+
+    def serve(self, request: Request, now: float) -> Optional[Response]:
+        """A fresh cached copy for ``request``, or ``None``."""
+        key = request.url.cache_key()
+        entry = self.store.get_fresh(key, now)
+        if entry is None:
+            self._count("miss")
+            return None
+        self._count("hit")
+        response = entry.response.copy()
+        response.served_by = self.name
+        return response
+
+    def serve_even_stale(self, request: Request, now: float) -> Optional[Response]:
+        """Any stored copy regardless of freshness (for SWR and the
+        sketch-based decision procedure, which has its own staleness
+        rules)."""
+        entry = self.store.get(request.url.cache_key(), now)
+        if entry is None:
+            return None
+        response = entry.response.copy()
+        response.served_by = self.name
+        return response
+
+    def revalidation_base(
+        self, request: Request, now: float
+    ) -> Optional[Response]:
+        """A stored response usable as the base of a conditional request."""
+        entry = self.store.peek(request.url.cache_key())
+        if entry is None or entry.response.etag is None:
+            return None
+        return entry.response
+
+    def admit(
+        self, request: Request, response: Response, now: float
+    ) -> Response:
+        """Store a fetched response if allowed; return a forwardable copy."""
+        if response.status == Status.OK and is_cacheable(
+            response, shared=self.shared
+        ):
+            self.store.put(request.url.cache_key(), response.copy(), now)
+            self._count("fill")
+        return response.copy()
+
+    def refresh(
+        self, request: Request, not_modified: Response, now: float
+    ) -> Optional[Response]:
+        """Apply a 304: restamp the stored entry as fresh again.
+
+        Returns the refreshed full response, or ``None`` if the entry
+        vanished meanwhile (caller falls back to a full fetch).
+        """
+        if not_modified.status != Status.NOT_MODIFIED:
+            raise ValueError(f"refresh expects a 304, got {not_modified}")
+        key = request.url.cache_key()
+        entry = self.store.peek(key)
+        if entry is None:
+            return None
+        refreshed = entry.response.copy()
+        refreshed.generated_at = not_modified.generated_at
+        cache_control = not_modified.headers.get("Cache-Control")
+        if cache_control is not None:
+            refreshed.headers["Cache-Control"] = cache_control
+        self.store.put(key, refreshed, now)
+        self._count("revalidated")
+        response = refreshed.copy()
+        response.served_by = self.name
+        return response
+
+    # -- invalidation ----------------------------------------------------------
+
+    def purge(self, key: str) -> bool:
+        removed = self.store.remove(key)
+        if removed:
+            self._count("purge")
+        return removed
+
+    def purge_prefix(self, prefix: str) -> int:
+        purged = self.store.remove_prefix(prefix)
+        if purged:
+            self.metrics.counter(
+                f"{self.METRIC_SCOPE}.{self.name}.purge"
+            ).inc(purged)
+        return purged
+
+    def purge_all(self) -> None:
+        self.store.clear()
+
+    # -- stats --------------------------------------------------------------------
+
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache so far."""
+        scope = f"{self.METRIC_SCOPE}.{self.name}"
+        hits = self.metrics.counter(f"{scope}.hit").value
+        misses = self.metrics.counter(f"{scope}.miss").value
+        total = hits + misses
+        return hits / total if total else 0.0

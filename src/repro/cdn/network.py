@@ -1,0 +1,76 @@
+"""The CDN as a whole: a set of edge PoPs plus a fan-out purge API."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cdn.cache import CacheStore
+from repro.cdn.edge import EdgeCache
+from repro.sim.metrics import MetricRegistry
+
+
+class Cdn:
+    """All edge PoPs of one deployment.
+
+    Purges fan out to every PoP. The caller (invalidation pipeline)
+    models purge propagation latency by scheduling the call; the method
+    itself applies instantly, matching the instant-purge APIs the paper
+    relies on (Fastly).
+    """
+
+    def __init__(
+        self,
+        pop_names: List[str],
+        max_entries_per_pop: Optional[int] = None,
+        max_bytes_per_pop: Optional[int] = None,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        if not pop_names:
+            raise ValueError("a CDN needs at least one PoP")
+        self.metrics = metrics or MetricRegistry()
+        self.pops: Dict[str, EdgeCache] = {}
+        for name in pop_names:
+            store = CacheStore(
+                shared=True,
+                max_entries=max_entries_per_pop,
+                max_bytes=max_bytes_per_pop,
+            )
+            self.pops[name] = EdgeCache(name, store, metrics=self.metrics)
+
+    def pop(self, name: str) -> EdgeCache:
+        try:
+            return self.pops[name]
+        except KeyError:
+            raise KeyError(f"unknown PoP {name!r}") from None
+
+    def purge(self, key: str) -> int:
+        """Purge one cache key from every PoP; returns PoPs affected."""
+        self.metrics.counter("cdn.purge_requests").inc()
+        return sum(1 for pop in self.pops.values() if pop.purge(key))
+
+    def purge_many(self, keys: List[str]) -> int:
+        return sum(self.purge(key) for key in keys)
+
+    def purge_prefix(self, prefix: str) -> int:
+        self.metrics.counter("cdn.purge_requests").inc()
+        return sum(pop.purge_prefix(prefix) for pop in self.pops.values())
+
+    def purge_all(self) -> None:
+        for pop in self.pops.values():
+            pop.purge_all()
+
+    def stored_keys(self) -> Dict[str, List[str]]:
+        """Cache keys currently stored, per PoP (diagnostics)."""
+        return {name: pop.store.keys() for name, pop in self.pops.items()}
+
+    def overall_hit_ratio(self) -> float:
+        hits = misses = 0.0
+        for name in self.pops:
+            hits += self.metrics.counter(f"edge.{name}.hit").value
+            misses += self.metrics.counter(f"edge.{name}.miss").value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def for_each_pop(self, action: Callable[[EdgeCache], None]) -> None:
+        for pop in self.pops.values():
+            action(pop)

@@ -1,0 +1,274 @@
+"""Command-line interface: run scenarios and sweeps from the shell.
+
+Examples::
+
+    python -m repro compare --quick
+    python -m repro run --scenario speed-kit --delta 30
+    python -m repro sweep-delta --deltas 10,30,60,120
+    python -m repro sweep-segments --segments 1,3,9,27
+    python -m repro gen-trace --out trace.jsonl
+    python -m repro run --scenario classic-cdn --trace trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.harness import (
+    ConversionModel,
+    Scenario,
+    ScenarioSpec,
+    SimulationRunner,
+    compare_scenarios,
+    format_table,
+)
+from repro.workload import (
+    CatalogConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    dump_trace,
+    generate_catalog,
+    generate_users,
+    load_trace,
+)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--users", type=int, default=30)
+    parser.add_argument("--products", type=int, default=60)
+    parser.add_argument("--duration", type=float, default=3600.0)
+    parser.add_argument("--session-rate", type=float, default=0.25)
+    parser.add_argument("--write-rate", type=float, default=0.05)
+    parser.add_argument(
+        "--quick", action="store_true", help="15-minute workload"
+    )
+    parser.add_argument(
+        "--trace", default=None, help="replay a saved trace instead"
+    )
+
+
+def _build_workload(args):
+    catalog = generate_catalog(
+        CatalogConfig(n_products=args.products), random.Random(args.seed)
+    )
+    users = generate_users(
+        UserPopulationConfig(n_users=args.users),
+        random.Random(args.seed + 1),
+    )
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        duration = 900.0 if args.quick else args.duration
+        config = WorkloadConfig(
+            duration=duration,
+            session_rate=args.session_rate,
+            write_rate=args.write_rate,
+        )
+        trace = WorkloadGenerator(catalog, users, config).generate(
+            random.Random(args.seed + 2)
+        )
+    return catalog, users, trace
+
+
+def _run(spec: ScenarioSpec, workload) -> "RunResult":
+    catalog, users, trace = workload
+    return SimulationRunner(spec, catalog, users, trace).run()
+
+
+def cmd_run(args) -> int:
+    scenario = Scenario(args.scenario)
+    workload = _build_workload(args)
+    spec = ScenarioSpec(
+        scenario=scenario, delta=args.delta, adaptive_ttl=args.adaptive_ttl
+    )
+    result = _run(spec, workload)
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"wrote result record to {args.json}", file=sys.stderr)
+    print(format_table([result.summary_row()], title="Run summary"))
+    print()
+    kinds = ("static", "page", "query", "api", "fragment")
+    row = {kind: round(result.hit_ratio_for_kind(kind), 3) for kind in kinds}
+    print(format_table([row], title="Hit ratio by content type"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workload = _build_workload(args)
+    names = args.scenarios.split(",")
+    results = []
+    for name in names:
+        scenario = Scenario(name.strip())
+        print(f"running {scenario.value} ...", file=sys.stderr)
+        results.append(
+            _run(ScenarioSpec(scenario=scenario, delta=args.delta), workload)
+        )
+    print(
+        format_table(
+            [result.summary_row() for result in results],
+            title="Scenario comparison",
+        )
+    )
+    if len(results) >= 2:
+        print()
+        print(
+            format_table(
+                [
+                    compare_scenarios(
+                        results[-2], results[-1], ConversionModel()
+                    )
+                ],
+                title="A/B (last two scenarios)",
+            )
+        )
+    return 0
+
+
+def cmd_sweep_delta(args) -> int:
+    workload = _build_workload(args)
+    rows = []
+    for delta in (float(d) for d in args.deltas.split(",")):
+        print(f"running Δ={delta:g} ...", file=sys.stderr)
+        result = _run(
+            ScenarioSpec(scenario=Scenario.SPEED_KIT, delta=delta), workload
+        )
+        rows.append(
+            {
+                "delta_s": delta,
+                "plt_p50_ms": round(result.plt.percentile(50) * 1000, 1),
+                "sketch_fetches": result.sketch_fetches,
+                "sketch_kib": round(result.sketch_bytes / 1024, 1),
+                "max_staleness_s": round(result.max_staleness, 3),
+                "violations": result.delta_violations,
+            }
+        )
+    print(format_table(rows, title="Δ sweep"))
+    return 0
+
+
+def cmd_sweep_segments(args) -> int:
+    workload = _build_workload(args)
+    rows = []
+    for n in (int(s) for s in args.segments.split(",")):
+        print(f"running {n} segments ...", file=sys.stderr)
+        result = _run(
+            ScenarioSpec(scenario=Scenario.SPEED_KIT, n_segments=n), workload
+        )
+        rows.append(
+            {
+                "segments": n,
+                "page_hit_ratio": round(result.hit_ratio_for_kind("page"), 3),
+                "plt_p50_ms": round(result.plt.percentile(50) * 1000, 1),
+                "origin_reqs": result.origin_requests,
+            }
+        )
+    print(format_table(rows, title="Segment sweep"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.harness import render_report
+
+    workload = _build_workload(args)
+    _, _, trace = workload
+    names = args.scenarios.split(",")
+    results = []
+    for name in names:
+        scenario = Scenario(name.strip())
+        print(f"running {scenario.value} ...", file=sys.stderr)
+        results.append(_run(ScenarioSpec(scenario=scenario), workload))
+    report = render_report(results, trace=trace)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote report to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_gen_trace(args) -> int:
+    args.trace = None  # always generate fresh here
+    _, _, trace = _build_workload(args)
+    dump_trace(trace, args.out)
+    print(
+        f"wrote {len(trace)} events "
+        f"({len(trace.page_views())} page views) to {args.out}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speed Kit reproduction: scenario runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument(
+        "--scenario",
+        default=Scenario.SPEED_KIT.value,
+        choices=[scenario.value for scenario in Scenario],
+    )
+    run_parser.add_argument("--delta", type=float, default=60.0)
+    run_parser.add_argument("--adaptive-ttl", action="store_true")
+    run_parser.add_argument(
+        "--json", default=None, help="also write the full result record"
+    )
+    _add_workload_args(run_parser)
+    run_parser.set_defaults(handler=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare scenarios")
+    compare_parser.add_argument(
+        "--scenarios",
+        default="no-cache,browser-only,classic-cdn,speed-kit",
+    )
+    compare_parser.add_argument("--delta", type=float, default=60.0)
+    _add_workload_args(compare_parser)
+    compare_parser.set_defaults(handler=cmd_compare)
+
+    delta_parser = sub.add_parser("sweep-delta", help="sweep Δ")
+    delta_parser.add_argument("--deltas", default="10,30,60,120")
+    _add_workload_args(delta_parser)
+    delta_parser.set_defaults(handler=cmd_sweep_delta)
+
+    seg_parser = sub.add_parser("sweep-segments", help="sweep segments")
+    seg_parser.add_argument("--segments", default="1,3,9,27")
+    _add_workload_args(seg_parser)
+    seg_parser.set_defaults(handler=cmd_sweep_segments)
+
+    report_parser = sub.add_parser(
+        "report", help="run scenarios and write a markdown report"
+    )
+    report_parser.add_argument(
+        "--scenarios", default="classic-cdn,speed-kit"
+    )
+    report_parser.add_argument("--out", default=None)
+    _add_workload_args(report_parser)
+    report_parser.set_defaults(handler=cmd_report)
+
+    trace_parser = sub.add_parser("gen-trace", help="generate a trace file")
+    trace_parser.add_argument("--out", required=True)
+    _add_workload_args(trace_parser)
+    trace_parser.set_defaults(handler=cmd_gen_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

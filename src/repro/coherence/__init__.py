@@ -1,0 +1,27 @@
+"""The Δ-atomicity cache coherence protocol and its runtime checker.
+
+The Speed Kit guarantee: a read at time *t* never returns data that was
+already stale at *t − Δ*. The bound comes from the Cache Sketch
+refresh loop — a client whose sketch is at most Δ old will revalidate
+every key the server marked stale more than Δ ago, and expiration
+covers everything the sketch does not.
+
+:class:`SketchClient` implements the client side (hold a sketch,
+refresh it, answer the read decision); :mod:`repro.coherence.decision`
+is the decision procedure itself; :class:`DeltaAtomicityChecker`
+verifies the guarantee against ground-truth version histories on every
+simulated read.
+"""
+
+from repro.coherence.checker import DeltaAtomicityChecker, ReadRecord
+from repro.coherence.decision import ReadDecision, decide
+from repro.coherence.client import SketchClient, SketchFetchStats
+
+__all__ = [
+    "DeltaAtomicityChecker",
+    "ReadDecision",
+    "ReadRecord",
+    "SketchClient",
+    "SketchFetchStats",
+    "decide",
+]

@@ -1,0 +1,120 @@
+"""Runtime verification of the Δ-atomicity guarantee.
+
+Every simulated read is checked against the origin's ground-truth
+version history: the returned version must have been current at some
+instant within ``[t − Δ, t]``. Violations are collected (not raised)
+so experiments can report a violation *count* — the paper's guarantee
+corresponds to that count being zero — alongside the measured staleness
+distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.http.messages import Response
+from repro.origin.server import OriginServer
+from repro.sim.metrics import MetricRegistry
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One checked read."""
+
+    resource_key: str
+    version: int
+    read_at: float
+    staleness: float
+    violation: bool
+
+
+class DeltaAtomicityChecker:
+    """Checks reads against ground truth; accumulates statistics."""
+
+    def __init__(
+        self,
+        server: OriginServer,
+        delta: float,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative: {delta}")
+        self.server = server
+        self.delta = delta
+        self.metrics = metrics or MetricRegistry()
+        self.records: List[ReadRecord] = []
+        self.violations: List[ReadRecord] = []
+
+    def record_read(
+        self,
+        response: Response,
+        read_at: float,
+        user_id: Optional[str] = None,
+    ) -> ReadRecord:
+        """Check one read; returns its record (and stores it)."""
+        if response.url is None or response.version is None:
+            raise ValueError(
+                f"response lacks url/version metadata: {response!r}"
+            )
+        resource_key = response.headers.get("X-Version-Key")
+        if resource_key is None:
+            resource_key = self.server.version_key_for(response.url, user_id)
+        versions = self.server.versions
+        superseded = versions.superseded_at(resource_key, response.version)
+        staleness = 0.0
+        if superseded is not None and superseded < read_at:
+            staleness = read_at - superseded
+        # Δ-atomicity: the returned version must have been current at
+        # some instant within [t − Δ, t] — equivalently, its staleness
+        # may not exceed Δ.
+        violation = staleness > self.delta
+        record = ReadRecord(
+            resource_key=resource_key,
+            version=response.version,
+            read_at=read_at,
+            staleness=staleness,
+            violation=violation,
+        )
+        self.records.append(record)
+        self.metrics.histogram("coherence.staleness").observe(staleness)
+        if staleness > 0:
+            self.metrics.counter("coherence.stale_reads").inc()
+        if violation:
+            self.violations.append(record)
+            self.metrics.counter("coherence.violations").inc()
+        return record
+
+    # -- summaries ---------------------------------------------------------------
+
+    @property
+    def read_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def stale_read_fraction(self) -> float:
+        """Fraction of reads that returned any outdated version."""
+        if not self.records:
+            return 0.0
+        stale = sum(1 for record in self.records if record.staleness > 0)
+        return stale / len(self.records)
+
+    def max_staleness(self) -> float:
+        """The worst staleness observed (0 when all reads were current)."""
+        if not self.records:
+            return 0.0
+        return max(record.staleness for record in self.records)
+
+    def assert_delta_atomic(self) -> None:
+        """Raise if any read violated the Δ bound (for tests)."""
+        if self.violations:
+            worst = max(self.violations, key=lambda r: r.staleness)
+            raise AssertionError(
+                f"{len(self.violations)} of {len(self.records)} reads "
+                f"violated Δ-atomicity (Δ={self.delta}); worst: "
+                f"{worst.resource_key} v{worst.version} read at "
+                f"{worst.read_at:.3f} with staleness {worst.staleness:.3f}"
+            )

@@ -1,0 +1,52 @@
+"""The client read decision procedure.
+
+Given a cached entry and the client's Bloom filter, decide how to
+answer a request. This tiny function is the semantic heart of the
+protocol; everything else exists to feed it correct inputs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.http.freshness import is_fresh_at
+from repro.http.messages import Response
+from repro.sketch.cache_sketch import ClientCacheSketch
+
+
+class ReadDecision(enum.Enum):
+    """What the client does with a request."""
+
+    SERVE_FROM_CACHE = "serve"  # fresh, not flagged: use the copy
+    REVALIDATE = "revalidate"  # conditional GET with the copy's ETag
+    FETCH = "fetch"  # no usable copy: full fetch
+
+
+def decide(
+    key: str,
+    cached: Optional[Response],
+    sketch: Optional[ClientCacheSketch],
+    now: float,
+) -> ReadDecision:
+    """Decide how to answer a read of ``key`` at time ``now``.
+
+    * no cached copy → ``FETCH``;
+    * copy expired → ``REVALIDATE`` if it has an ETag else ``FETCH``;
+    * no sketch available (first load, fetch failed) → treat as the
+      classic browser cache: serve fresh copies;
+    * key in sketch → ``REVALIDATE`` (the copy *may* be stale; false
+      positives cost one conditional request, never staleness);
+    * otherwise → ``SERVE_FROM_CACHE``.
+    """
+    if cached is None:
+        return ReadDecision.FETCH
+    if not is_fresh_at(cached, now, shared=False):
+        if cached.etag is not None:
+            return ReadDecision.REVALIDATE
+        return ReadDecision.FETCH
+    if sketch is not None and sketch.contains(key):
+        if cached.etag is not None:
+            return ReadDecision.REVALIDATE
+        return ReadDecision.FETCH
+    return ReadDecision.SERVE_FROM_CACHE

@@ -1,0 +1,155 @@
+"""Aggregated results of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.metrics import Histogram, MetricRegistry
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one trace replay."""
+
+    scenario_name: str
+    metrics: MetricRegistry
+    #: Page load times, overall and per dimension.
+    plt: Histogram
+    plt_by_page_kind: Dict[str, Histogram] = field(default_factory=dict)
+    plt_by_connection: Dict[str, Histogram] = field(default_factory=dict)
+    #: Request counts by serving layer ("origin", "edge-1",
+    #: "browser:<node>"→"browser", "sw:<node>"→"sw").
+    served_by_layer: Dict[str, int] = field(default_factory=dict)
+    #: Request counts by (layer, resource kind).
+    served_by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Coherence outcome.
+    reads_checked: int = 0
+    stale_reads: int = 0
+    delta_violations: int = 0
+    max_staleness: float = 0.0
+    #: Worst staleness among users NOT covered by the Δ guarantee
+    #: (non-consenting users running the plain browser stack).
+    uncovered_max_staleness: float = 0.0
+    #: Sketch accounting (Speed Kit only).
+    sketch_fetches: int = 0
+    sketch_bytes: int = 0
+    #: Scrubbing accounting (Speed Kit only).
+    requests_scrubbed: int = 0
+    #: Origin load.
+    origin_requests: int = 0
+    #: Sessions (home-page entries), for per-session statistics.
+    page_views: int = 0
+    #: Requests answered with a 5xx (origin outages).
+    failed_responses: int = 0
+    #: Egress bandwidth: bytes the origin served vs. bytes edges served.
+    origin_egress_bytes: int = 0
+    edge_egress_bytes: int = 0
+    #: Personalization correctness: page/query responses to logged-in
+    #: users that carried the right personalization (their segment, or
+    #: a full identity-personalized render) vs. anonymous fallbacks.
+    personalization_checks: int = 0
+    personalization_misses: int = 0
+
+    # -- derived ----------------------------------------------------------
+
+    def cache_hit_ratio(self) -> float:
+        """Fraction of requests answered without touching the origin."""
+        total = sum(self.served_by_layer.values())
+        if not total:
+            return 0.0
+        cached = total - self.served_by_layer.get("origin", 0)
+        return cached / total
+
+    def layer_share(self, layer: str) -> float:
+        total = sum(self.served_by_layer.values())
+        if not total:
+            return 0.0
+        return self.served_by_layer.get(layer, 0) / total
+
+    def hit_ratio_for_kind(self, kind: str) -> float:
+        """Cache hit ratio restricted to one resource kind."""
+        by_layer = {
+            layer: kinds.get(kind, 0)
+            for layer, kinds in self.served_by_kind.items()
+        }
+        total = sum(by_layer.values())
+        if not total:
+            return 0.0
+        return (total - by_layer.get("origin", 0)) / total
+
+    def stale_read_fraction(self) -> float:
+        if not self.reads_checked:
+            return 0.0
+        return self.stale_reads / self.reads_checked
+
+    def error_rate(self) -> float:
+        """Fraction of responses that were 5xx failures."""
+        total = sum(self.served_by_layer.values()) + self.failed_responses
+        if not total:
+            return 0.0
+        return self.failed_responses / total
+
+    def personalization_rate(self) -> float:
+        """Fraction of logged-in page views personalized correctly."""
+        if not self.personalization_checks:
+            return 1.0
+        return 1.0 - self.personalization_misses / self.personalization_checks
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable record of the run (for result archives)."""
+        record: Dict[str, object] = {
+            "scenario": self.scenario_name,
+            "page_views": self.page_views,
+            "served_by_layer": dict(self.served_by_layer),
+            "served_by_kind": {
+                layer: dict(kinds)
+                for layer, kinds in self.served_by_kind.items()
+            },
+            "cache_hit_ratio": self.cache_hit_ratio(),
+            "origin_requests": self.origin_requests,
+            "origin_egress_bytes": self.origin_egress_bytes,
+            "edge_egress_bytes": self.edge_egress_bytes,
+            "reads_checked": self.reads_checked,
+            "stale_reads": self.stale_reads,
+            "stale_read_fraction": self.stale_read_fraction(),
+            "max_staleness": self.max_staleness,
+            "uncovered_max_staleness": self.uncovered_max_staleness,
+            "delta_violations": self.delta_violations,
+            "failed_responses": self.failed_responses,
+            "error_rate": self.error_rate(),
+            "personalization_rate": self.personalization_rate(),
+            "sketch_fetches": self.sketch_fetches,
+            "sketch_bytes": self.sketch_bytes,
+            "requests_scrubbed": self.requests_scrubbed,
+        }
+        if len(self.plt):
+            record["plt"] = {
+                "p50": self.plt.percentile(50),
+                "p95": self.plt.percentile(95),
+                "p99": self.plt.percentile(99),
+                "mean": self.plt.mean(),
+                "count": self.plt.count,
+            }
+        return record
+
+    def summary_row(self) -> Dict[str, object]:
+        """The standard comparison row printed by benchmarks."""
+        row: Dict[str, object] = {"scenario": self.scenario_name}
+        if len(self.plt):
+            row.update(
+                {
+                    "plt_p50_ms": round(self.plt.percentile(50) * 1000, 1),
+                    "plt_p95_ms": round(self.plt.percentile(95) * 1000, 1),
+                    "plt_mean_ms": round(self.plt.mean() * 1000, 1),
+                }
+            )
+        row.update(
+            {
+                "hit_ratio": round(self.cache_hit_ratio(), 3),
+                "origin_reqs": self.origin_requests,
+                "stale_frac": round(self.stale_read_fraction(), 4),
+                "violations": self.delta_violations,
+            }
+        )
+        return row

@@ -1,0 +1,516 @@
+"""Replays one workload trace against one scenario."""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.baselines.clients import CookieJarFetcher, NoCacheClient
+from repro.browser.client import BrowserClient, TransportMode
+from repro.browser.page import PageLoadEngine
+from repro.browser.transport import Transport
+from repro.cdn.network import Cdn
+from repro.coherence.checker import DeltaAtomicityChecker
+from repro.coherence.client import SketchClient
+from repro.http.messages import Method, Request, Status
+from repro.http.url import URL
+from repro.invalidation.pipeline import InvalidationPipeline
+from repro.origin.server import OriginServer
+from repro.origin.site import ResourceKind
+from repro.sim.environment import Environment
+from repro.sim.metrics import MetricRegistry
+from repro.sim.rng import RngStreams
+from repro.simnet.profiles import build_web_topology
+from repro.sketch.cache_sketch import ServerCacheSketch
+from repro.speedkit.config import SpeedKitConfig
+from repro.speedkit.gdpr import ConsentManager, PiiVault
+from repro.speedkit.segments import SegmentResolver, SegmentScheme
+from repro.speedkit.worker import ServiceWorkerProxy
+from repro.origin.server import StaticTtlPolicy
+from repro.ttl.policy import AdaptiveTtlPolicy
+from repro.harness.results import RunResult
+from repro.harness.scenarios import Scenario, ScenarioSpec
+from repro.workload.catalog import Catalog
+from repro.workload.pages import PageBuilder
+from repro.workload.sitebuilder import build_ecommerce_site
+from repro.workload.trace import (
+    CartAdd,
+    PageView,
+    ProductUpdate,
+    WorkloadTrace,
+)
+from repro.workload.users import User, UserPopulation
+
+#: Checker slack for in-flight delivery: a response can be one network
+#: transit old by the time the client records the read (an edge may
+#: serve a copy that a concurrent write supersedes while the bytes are
+#: on the wire). One second generously covers the slowest modeled link.
+_SLACK = 1.0
+
+
+class SimulationRunner:
+    """Builds the full stack for a scenario and replays a trace."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        catalog: Catalog,
+        users: UserPopulation,
+        trace: WorkloadTrace,
+        site_factory=None,
+        page_builder=None,
+    ) -> None:
+        """``site_factory(catalog) -> Site`` and ``page_builder`` (an
+        object with ``for_view(page_kind, target) -> PageSpec``) default
+        to the e-commerce shop; pass alternatives to replay the same
+        trace format against a different site (e.g. the media site in
+        :mod:`repro.workload.mediasite`)."""
+        self.spec = spec
+        self.catalog = catalog
+        self.users = users
+        self.trace = trace
+        self.site_factory = site_factory or build_ecommerce_site
+        self.pages = page_builder or PageBuilder()
+
+    # -- assembly ---------------------------------------------------------
+
+    def _ttl_policy(self):
+        overrides = {
+            ResourceKind.PAGE: self.spec.page_ttl,
+            ResourceKind.QUERY: self.spec.page_ttl,
+            ResourceKind.API: self.spec.page_ttl,
+        }
+        if self.spec.adaptive_ttl and self.spec.scenario.uses_speed_kit:
+            return AdaptiveTtlPolicy()
+        return StaticTtlPolicy(overrides=overrides)
+
+    def _checker_delta(self) -> float:
+        scenario = self.spec.scenario
+        if scenario in (
+            Scenario.SPEED_KIT,
+            Scenario.SPEED_KIT_NO_SEGMENTS,
+        ):
+            bound = self.spec.delta + self.spec.purge_latency + _SLACK
+            if self.spec.stale_while_revalidate:
+                # SWR's bound is the verification-age budget (plus the
+                # purge window, during which a 304 restamp may verify
+                # against a not-yet-purged edge copy).
+                bound = max(
+                    bound,
+                    2 * self.spec.delta
+                    + self.spec.purge_latency
+                    + _SLACK,
+                )
+            return bound
+        if scenario is Scenario.SPEED_KIT_SKETCH_ONLY:
+            # Without purges, edges serve (and 304-confirm) stale copies
+            # until shared expiry: the bound degrades by the TTL.
+            return self.spec.delta + self.spec.page_ttl + _SLACK
+        # Expiration-based stacks are bounded by TTL accumulation only;
+        # the checker records staleness without judging violations.
+        return float("inf")
+
+    def _build(self) -> None:
+        spec = self.spec
+        self.env = Environment()
+        self.streams = RngStreams(spec.seed)
+        self.metrics = MetricRegistry()
+
+        seen = self.trace.users_seen()
+        profiles = {
+            user_id: self.users.by_id(user_id).connection
+            for user_id in seen
+        }
+        client_regions = edge_regions = None
+        pop_names = list(spec.pop_names)
+        if spec.n_regions is not None:
+            if spec.n_regions <= 0:
+                raise ValueError(
+                    f"n_regions must be positive: {spec.n_regions}"
+                )
+            pop_names = [f"edge-r{i}" for i in range(spec.n_regions)]
+            edge_regions = {
+                name: f"region-{i}" for i, name in enumerate(pop_names)
+            }
+            client_regions = {
+                user_id: f"region-{index % spec.n_regions}"
+                for index, user_id in enumerate(sorted(seen))
+            }
+        self._pop_names = pop_names
+        self.topology = build_web_topology(
+            clients=seen,
+            profiles=profiles,
+            edges=pop_names,
+            client_regions=client_regions,
+            edge_regions=edge_regions,
+        )
+
+        site = self.site_factory(self.catalog)
+        self.server = OriginServer(site, ttl_policy=self._ttl_policy())
+        self.cdn: Optional[Cdn] = None
+        self.sketch: Optional[ServerCacheSketch] = None
+        scenario = spec.scenario
+        if scenario.uses_cdn:
+            self.cdn = Cdn(self._pop_names, metrics=self.metrics)
+        if scenario.uses_speed_kit:
+            use_sketch = scenario is not Scenario.SPEED_KIT_PURGE_ONLY
+            use_purge = scenario is not Scenario.SPEED_KIT_SKETCH_ONLY
+            self.sketch = ServerCacheSketch(capacity=20_000)
+            self.pipeline = InvalidationPipeline(
+                self.env,
+                self.server,
+                cdn=self.cdn if use_purge else None,
+                sketch=self.sketch if use_sketch else None,
+                detection_latency=spec.detection_latency,
+                purge_latency=spec.purge_latency,
+                metrics=self.metrics,
+            )
+        faults = None
+        if spec.outage is not None:
+            from repro.simnet.faults import FaultSchedule
+
+            faults = FaultSchedule.origin_outage(*spec.outage)
+        self._faults = faults
+        self.transport = Transport(
+            self.env,
+            self.topology,
+            self.server,
+            self.streams.stream("network"),
+            faults=faults,
+            metrics=self.metrics,
+        )
+        self.checker = DeltaAtomicityChecker(
+            self.server, delta=self._checker_delta(), metrics=self.metrics
+        )
+        # Non-consenting users on a Speed Kit site run the plain
+        # browser stack: their staleness is bounded by TTLs, not Δ.
+        # Their reads are recorded separately so violations are only
+        # counted where the protocol actually promises the bound.
+        self.baseline_checker = DeltaAtomicityChecker(
+            self.server, delta=float("inf")
+        )
+        self._stacks: Dict[str, object] = {}
+        self._engines: Dict[str, PageLoadEngine] = {}
+        self._prefetchers: Dict[str, object] = {}
+        self._navigation_model = None
+        if spec.prefetch and spec.scenario.uses_speed_kit:
+            from repro.speedkit.prefetch import NavigationPredictor
+
+            # One site-wide model: in production it is trained on
+            # anonymized navigation statistics across all users.
+            self._navigation_model = NavigationPredictor()
+        self.result = RunResult(
+            scenario_name=spec.name,
+            metrics=self.metrics,
+            plt=self.metrics.histogram("plt.all"),
+        )
+
+    def _speedkit_config(self) -> SpeedKitConfig:
+        config = SpeedKitConfig.ecommerce_default()
+        config.sketch_refresh_interval = self.spec.delta
+        config.stale_while_revalidate = self.spec.stale_while_revalidate
+        config.swr_staleness_budget = 2 * self.spec.delta
+        if self.spec.scenario is Scenario.SPEED_KIT_NO_SEGMENTS:
+            config.segment_personalized = []
+        return config
+
+    def _stack_for(self, user: User):
+        """The (cached) client stack of one user."""
+        existing = self._stacks.get(user.user_id)
+        if existing is not None:
+            return existing
+        stack = self._build_stack(user)
+        self._stacks[user.user_id] = stack
+        return stack
+
+    def _build_stack(self, user: User):
+        node = user.user_id
+        cookie_user = user.user_id if user.logged_in else None
+        scenario = self.spec.scenario
+        if scenario is Scenario.NO_CACHE:
+            inner = NoCacheClient(node, self.transport)
+        elif scenario is Scenario.BROWSER_ONLY:
+            inner = BrowserClient(
+                node,
+                self.transport,
+                mode=TransportMode.DIRECT,
+                metrics=self.metrics,
+            )
+        elif scenario is Scenario.CLASSIC_CDN:
+            inner = BrowserClient(
+                node,
+                self.transport,
+                mode=TransportMode.CDN,
+                cdn=self.cdn,
+                metrics=self.metrics,
+            )
+        elif not user.consents:
+            # A non-consenting user keeps the plain browser stack even
+            # on a Speed Kit site (the worker never activates).
+            inner = BrowserClient(
+                node,
+                self.transport,
+                mode=TransportMode.DIRECT,
+                metrics=self.metrics,
+            )
+        else:
+            inner = self._build_worker(user)
+        return CookieJarFetcher(inner, cookie_user)
+
+    def _segment_scheme(self) -> SegmentScheme:
+        """The segmentation scheme for this run's granularity setting."""
+        n = self.spec.n_segments
+        if n is None:
+            return SegmentScheme.ecommerce_default()
+        if n <= 1:
+            return SegmentScheme().add_dimension("all", lambda attrs: "all")
+        if n <= 3:
+            return SegmentScheme().add_dimension(
+                "tier", lambda attrs: str(attrs.get("tier", "standard"))
+            )
+        scheme = SegmentScheme.ecommerce_default()  # tier×locale ≈ 9
+        if n > 9:
+            buckets = max(1, n // 9)
+
+            def bucket_of(attrs) -> str:
+                # User ids are "u<number>"; a stable modulo beats
+                # hash(), which Python randomizes per process.
+                uid = str(attrs.get("uid", "u0"))
+                try:
+                    number = int(uid[1:])
+                except ValueError:
+                    number = 0
+                return str(number % buckets)
+
+            scheme.add_dimension("bucket", bucket_of)
+        return scheme
+
+    def _build_worker(self, user: User) -> ServiceWorkerProxy:
+        attributes = dict(user.attributes)
+        attributes["uid"] = user.user_id
+        vault = PiiVault(
+            user_id=user.user_id if user.logged_in else None,
+            attributes=attributes,
+        )
+        consent = ConsentManager.all_granted()
+        sketch_client = SketchClient(
+            self.env,
+            self.sketch,
+            self.topology,
+            client_node=user.user_id,
+            rng=self.streams.fork(user.user_id).stream("sketch"),
+            refresh_interval=self.spec.delta,
+            faults=self._faults,
+        )
+        return ServiceWorkerProxy(
+            node=user.user_id,
+            transport=self.transport,
+            cdn=self.cdn,
+            config=self._speedkit_config(),
+            vault=vault,
+            consent=consent,
+            segments=SegmentResolver(
+                self._segment_scheme(), vault, consent
+            ),
+            sketch_client=sketch_client,
+            metrics=self.metrics,
+        )
+
+    def _engine_for(self, user: User) -> PageLoadEngine:
+        engine = self._engines.get(user.user_id)
+        if engine is None:
+            engine = PageLoadEngine(self.env, self._stack_for(user))
+            self._engines[user.user_id] = engine
+        return engine
+
+    # -- replay ----------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Replay the whole trace; returns aggregated results."""
+        self._build()
+        self.env.process(self._dispatcher())
+        self.env.run()
+        self._finalize()
+        return self.result
+
+    def _dispatcher(self) -> Generator:
+        for event in self.trace.events:
+            delay = event.at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            if isinstance(event, PageView):
+                self.env.process(self._handle_page_view(event))
+            elif isinstance(event, ProductUpdate):
+                self.server.update(
+                    "products",
+                    event.product_id,
+                    event.changes_dict,
+                    at=self.env.now,
+                )
+            elif isinstance(event, CartAdd):
+                self.env.process(self._handle_cart_add(event))
+
+    def _handle_page_view(self, event: PageView) -> Generator:
+        user = self.users.by_id(event.user_id)
+        stack = self._stack_for(user)
+        engine = self._engine_for(user)
+        navigate = getattr(stack, "on_navigate", None)
+        if navigate is not None:
+            yield from navigate()
+        page = self.pages.for_view(event.page_kind, event.target)
+        result = yield from engine.load(page)
+        inner = getattr(stack, "inner", stack)
+        if self._navigation_model is not None and isinstance(
+            inner, ServiceWorkerProxy
+        ):
+            prefetcher = self._prefetchers.get(user.user_id)
+            if prefetcher is None:
+                from repro.speedkit.prefetch import Prefetcher
+
+                prefetcher = Prefetcher(inner, self._navigation_model)
+                self._prefetchers[user.user_id] = prefetcher
+            prefetcher.on_navigation(event.page_kind, event.target)
+        # On baseline scenarios the main checker (bound = ∞) covers
+        # everyone; on Speed Kit scenarios only worker-served users are
+        # under the Δ promise.
+        delta_covered = not self.spec.scenario.uses_speed_kit or (
+            isinstance(inner, ServiceWorkerProxy)
+        )
+        self._record_page_load(user, event, result, delta_covered)
+        return None
+
+    def _handle_cart_add(self, event: CartAdd) -> Generator:
+        user = self.users.by_id(event.user_id)
+        stack = self._stack_for(user)
+        request = Request(
+            method=Method.POST,
+            url=URL.parse(f"/api/documents/carts/{event.user_id}"),
+            body={"items": [event.product_id]},
+            client_id=event.user_id,
+        )
+        yield from stack.fetch(request)
+        return None
+
+    # -- recording ---------------------------------------------------------------
+
+    def _record_page_load(
+        self, user: User, event: PageView, result, delta_covered: bool = True
+    ) -> None:
+        self.result.page_views += 1
+        self.result.plt.observe(result.plt)
+        kind_hist = self.result.plt_by_page_kind.setdefault(
+            event.page_kind,
+            self.metrics.histogram(f"plt.page.{event.page_kind}"),
+        )
+        kind_hist.observe(result.plt)
+        conn_hist = self.result.plt_by_connection.setdefault(
+            user.connection,
+            self.metrics.histogram(f"plt.conn.{user.connection}"),
+        )
+        conn_hist.observe(result.plt)
+        # Timeline for phase-based analyses (flash sale, outages).
+        self.metrics.series("plt.timeline").record(
+            result.started_at, result.plt
+        )
+        for response in result.responses:
+            self._record_response(response, delta_covered)
+        if result.responses:
+            self._record_personalization(user, result.responses[0])
+
+    def _record_personalization(self, user: User, html_response) -> None:
+        """Did a logged-in user get correctly personalized HTML?
+
+        Correct means either identity-personalized by the origin
+        (classic path: the response is private/no-store) or the user's
+        segment variant (Speed Kit path). An anonymous fallback served
+        to a logged-in user counts as a personalization miss — the
+        failure mode of caching personalized pages naively.
+        """
+        from repro.origin.server import SEGMENT_PARAM
+
+        if not user.logged_in or html_response.status != Status.OK:
+            return
+        kind = html_response.headers.get("X-Resource-Kind")
+        if kind not in ("page", "query"):
+            return
+        self.result.personalization_checks += 1
+        cc = html_response.cache_control
+        if cc.no_store or cc.private:
+            return  # identity-personalized render: correct
+        segment = (
+            html_response.url.params.get(SEGMENT_PARAM)
+            if html_response.url is not None
+            else None
+        )
+        if segment is not None and segment != "anonymous":
+            return  # segment variant: correct
+        self.result.personalization_misses += 1
+
+    @staticmethod
+    def _layer_of(served_by: str) -> str:
+        if served_by.startswith("browser:"):
+            return "browser"
+        if served_by.startswith("sw:"):
+            return "sw"
+        if served_by.startswith("edge"):
+            return "edge"
+        return served_by
+
+    def _record_response(self, response, delta_covered: bool = True) -> None:
+        if response.status.is_server_error:
+            self.result.failed_responses += 1
+            return
+        if response.status != Status.OK or response.version is None:
+            return
+        layer = self._layer_of(response.served_by)
+        self.result.served_by_layer[layer] = (
+            self.result.served_by_layer.get(layer, 0) + 1
+        )
+        kind = response.headers.get("X-Resource-Kind", "unknown")
+        per_kind = self.result.served_by_kind.setdefault(layer, {})
+        per_kind[kind] = per_kind.get(kind, 0) + 1
+        if "X-SpeedKit-Offline" in response.headers:
+            # Offline serving explicitly trades Δ-atomicity for
+            # availability; these reads are accounted, not checked.
+            return
+        if "X-Version-Key" in response.headers:
+            checker = self.checker if delta_covered else self.baseline_checker
+            checker.record_read(response, self.env.now)
+
+    def _finalize(self) -> None:
+        result = self.result
+        checkers = (self.checker, self.baseline_checker)
+        result.reads_checked = sum(c.read_count for c in checkers)
+        result.stale_reads = sum(
+            1
+            for checker in checkers
+            for record in checker.records
+            if record.staleness > 0
+        )
+        # Violations are only meaningful where the protocol promises
+        # the Δ bound (worker-served users); the baseline checker's
+        # bound is infinite by construction. max_staleness likewise
+        # refers to the covered population; non-consenting plain-
+        # browser users are reported separately.
+        result.delta_violations = self.checker.violation_count
+        result.max_staleness = self.checker.max_staleness()
+        result.uncovered_max_staleness = self.baseline_checker.max_staleness()
+        result.origin_requests = self.server.requests_served
+        for name, attr in (
+            ("bytes.origin_egress", "origin_egress_bytes"),
+            ("bytes.edge_egress", "edge_egress_bytes"),
+        ):
+            counter = self.metrics.get_counter(name)
+            if counter is not None:
+                setattr(result, attr, int(counter.value))
+        for stack in self._stacks.values():
+            sketch_client = getattr(stack, "sketch_client", None)
+            if sketch_client is not None:
+                result.sketch_fetches += sketch_client.stats.fetches
+                result.sketch_bytes += sketch_client.stats.bytes_transferred
+            inner = getattr(stack, "inner", stack)
+            if isinstance(inner, ServiceWorkerProxy):
+                counter = self.metrics.get_counter(
+                    f"speedkit.{inner.node}.scrubbed"
+                )
+                if counter is not None:
+                    result.requests_scrubbed += int(counter.value)

@@ -1,0 +1,78 @@
+"""Scenario definitions: what client/server stack handles the traffic."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Scenario(enum.Enum):
+    """The client/server configurations under comparison."""
+
+    NO_CACHE = "no-cache"
+    BROWSER_ONLY = "browser-only"
+    CLASSIC_CDN = "classic-cdn"
+    SPEED_KIT = "speed-kit"
+    #: Ablation: Speed Kit without segment rewriting — personalized
+    #: pages carry identity and become uncacheable, like the baseline.
+    SPEED_KIT_NO_SEGMENTS = "speed-kit-no-segments"
+    #: Ablation: purges only, no Cache Sketch — client caches rely on
+    #: TTL expiry alone (staleness up to the TTL).
+    SPEED_KIT_PURGE_ONLY = "speed-kit-purge-only"
+    #: Ablation: sketch only, no CDN purges — edges serve stale until
+    #: expiry; clients still revalidate via the sketch.
+    SPEED_KIT_SKETCH_ONLY = "speed-kit-sketch-only"
+
+    @property
+    def uses_speed_kit(self) -> bool:
+        return self.value.startswith("speed-kit")
+
+    @property
+    def uses_cdn(self) -> bool:
+        return self is not Scenario.NO_CACHE and (
+            self is not Scenario.BROWSER_ONLY
+        )
+
+
+@dataclass
+class ScenarioSpec:
+    """A scenario plus its tunable parameters."""
+
+    scenario: Scenario
+    #: Sketch refresh interval (Speed Kit variants only).
+    delta: float = 60.0
+    #: Page TTL for the classic CDN / the static parts of Speed Kit.
+    page_ttl: float = 300.0
+    #: Use the adaptive (Quaestor-style) TTL estimator instead of
+    #: static TTLs (Speed Kit variants only).
+    adaptive_ttl: bool = False
+    #: Invalidation pipeline latencies (Speed Kit variants only).
+    detection_latency: float = 0.025
+    purge_latency: float = 0.080
+    #: CDN PoPs.
+    pop_names: tuple = ("edge-1",)
+    #: Regional deployment: split users round-robin into this many
+    #: regions, each with its own PoP (overrides ``pop_names``).
+    n_regions: Optional[int] = None
+    #: Root seed for all simulation randomness.
+    seed: int = 0
+    #: Inject one origin outage window (start, end) in simulated
+    #: seconds — the offline-resilience experiment.
+    outage: Optional[tuple] = None
+    #: Serve revalidation-flagged entries stale-while-revalidate
+    #: (Speed Kit variants only).
+    stale_while_revalidate: bool = False
+    #: Predictive prefetching of likely-next pages (Speed Kit variants
+    #: only): a site-wide navigation model drives background fetches.
+    prefetch: bool = False
+    #: Personalization granularity (Speed Kit variants only):
+    #: ``None`` keeps the default tier×locale scheme; otherwise the
+    #: runner builds a scheme with (approximately) this many segments
+    #: (1 = everyone shares one variant, larger = finer slices).
+    n_segments: Optional[int] = None
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.label or self.scenario.value

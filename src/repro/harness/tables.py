@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] = (),
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order defaults to the keys of the first row. Missing values
+    render as ``-``. Numbers are right-aligned.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[render(row.get(col)) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(cols)
+    ]
+
+    def is_numeric(col_index: int) -> bool:
+        return all(
+            isinstance(row.get(cols[col_index]), (int, float))
+            or row.get(cols[col_index]) is None
+            for row in rows
+        )
+
+    def format_line(cells: List[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if is_numeric(i):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_line(list(cols)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_line(cells) for cells in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""HTTP model: the vocabulary the caching stack speaks.
+
+This package models the slice of HTTP that web caching depends on:
+case-insensitive headers, ``Cache-Control`` directives, request and
+response messages with validators (``ETag`` / ``Last-Modified``), the
+RFC 7234 freshness lifetime computation, and a structured URL type.
+
+It deliberately models *semantics*, not wire format: there is no byte
+parsing, because the simulator constructs messages directly.
+"""
+
+from repro.http.cache_control import CacheControl
+from repro.http.freshness import (
+    age_at,
+    allows_stale_while_revalidate,
+    conditional_request_for,
+    expires_at,
+    freshness_lifetime,
+    is_cacheable,
+    is_fresh_at,
+    remaining_ttl,
+)
+from repro.http.headers import Headers
+from repro.http.messages import (
+    Method,
+    Request,
+    Response,
+    Status,
+    make_not_modified,
+    revalidates,
+)
+from repro.http.url import URL
+
+__all__ = [
+    "CacheControl",
+    "Headers",
+    "Method",
+    "Request",
+    "Response",
+    "Status",
+    "URL",
+    "age_at",
+    "allows_stale_while_revalidate",
+    "conditional_request_for",
+    "expires_at",
+    "freshness_lifetime",
+    "is_cacheable",
+    "is_fresh_at",
+    "make_not_modified",
+    "remaining_ttl",
+    "revalidates",
+]

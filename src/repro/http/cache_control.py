@@ -1,0 +1,114 @@
+"""``Cache-Control`` directive parsing and serialization.
+
+Covers the directives the Speed Kit protocol depends on:
+
+* ``max-age`` / ``s-maxage`` — freshness lifetimes (shared caches
+  prefer ``s-maxage``);
+* ``no-store`` / ``no-cache`` — caching and reuse prohibitions;
+* ``private`` / ``public`` — shared-cache eligibility;
+* ``must-revalidate`` — no serving stale;
+* ``stale-while-revalidate`` — the Speed Kit service worker serves the
+  cached copy while refreshing in the background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheControl:
+    """Parsed ``Cache-Control`` directives."""
+
+    max_age: Optional[float] = None
+    s_maxage: Optional[float] = None
+    no_store: bool = False
+    no_cache: bool = False
+    private: bool = False
+    public: bool = False
+    must_revalidate: bool = False
+    immutable: bool = False
+    stale_while_revalidate: Optional[float] = None
+    extensions: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    _VALUE_DIRECTIVES = {
+        "max-age": "max_age",
+        "s-maxage": "s_maxage",
+        "stale-while-revalidate": "stale_while_revalidate",
+    }
+    _FLAG_DIRECTIVES = {
+        "no-store": "no_store",
+        "no-cache": "no_cache",
+        "private": "private",
+        "public": "public",
+        "must-revalidate": "must_revalidate",
+        "immutable": "immutable",
+    }
+
+    @classmethod
+    def parse(cls, header_value: Optional[str]) -> "CacheControl":
+        """Parse a header value like ``"public, max-age=60"``.
+
+        Unknown directives are preserved in :attr:`extensions`. Invalid
+        numeric values make the directive behave as most-conservative
+        (treated as 0), per RFC 7234 §4.2.1 guidance.
+        """
+        cc = cls()
+        if not header_value:
+            return cc
+        for raw in header_value.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            name, _, value = token.partition("=")
+            name = name.strip().lower()
+            value = value.strip().strip('"')
+            if name in cls._VALUE_DIRECTIVES:
+                try:
+                    seconds = float(value)
+                    if seconds < 0:
+                        seconds = 0.0
+                except ValueError:
+                    seconds = 0.0
+                setattr(cc, cls._VALUE_DIRECTIVES[name], seconds)
+            elif name in cls._FLAG_DIRECTIVES:
+                setattr(cc, cls._FLAG_DIRECTIVES[name], True)
+            else:
+                cc.extensions[name] = value if value else None
+        return cc
+
+    def serialize(self) -> str:
+        """Render back to a header value (canonical ordering)."""
+        parts = []
+        for header_name, attr in self._FLAG_DIRECTIVES.items():
+            if getattr(self, attr):
+                parts.append(header_name)
+        for header_name, attr in self._VALUE_DIRECTIVES.items():
+            value = getattr(self, attr)
+            if value is not None:
+                rendered = int(value) if float(value).is_integer() else value
+                parts.append(f"{header_name}={rendered}")
+        for name, value in self.extensions.items():
+            parts.append(name if value is None else f"{name}={value}")
+        return ", ".join(parts)
+
+    def shared_lifetime(self) -> Optional[float]:
+        """Freshness lifetime for a *shared* cache (CDN edge)."""
+        if self.s_maxage is not None:
+            return self.s_maxage
+        return self.max_age
+
+    def private_lifetime(self) -> Optional[float]:
+        """Freshness lifetime for a *private* cache (browser / SW)."""
+        return self.max_age
+
+    def forbids_storing(self, shared: bool) -> bool:
+        """Whether a cache of the given kind may store the response."""
+        if self.no_store:
+            return True
+        return shared and self.private
+
+    def forbids_serving_without_revalidation(self) -> bool:
+        """``no-cache``: stored copies need revalidation before reuse."""
+        return self.no_cache

@@ -1,0 +1,73 @@
+"""Streaming query matcher: which cached queries does a change affect?
+
+This is the matching core of InvaliDB: subscriptions pair a query with
+the resource it materializes; an update stream of change events is
+matched against all subscriptions. A change affects a subscription if
+its *before* or *after* image matches the query — entering, leaving,
+and changing-within the result set all invalidate it.
+
+Subscriptions are indexed by collection, so matching cost scales with
+the subscriptions on the written collection rather than all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.origin.query import Query
+from repro.origin.store import ChangeEvent
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One registered (query → resource) pair."""
+
+    resource_key: str
+    query: Query
+
+
+class QueryMatcher:
+    """Matches change events against registered query subscriptions."""
+
+    def __init__(self) -> None:
+        self._by_collection: Dict[str, List[Subscription]] = {}
+        self._registered: Set[Subscription] = set()
+        self.matches_evaluated = 0
+
+    def subscribe(self, resource_key: str, query: Query) -> Subscription:
+        """Register a query resource; idempotent per (key, query)."""
+        subscription = Subscription(resource_key=resource_key, query=query)
+        if subscription not in self._registered:
+            self._registered.add(subscription)
+            self._by_collection.setdefault(query.collection, []).append(
+                subscription
+            )
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> bool:
+        if subscription not in self._registered:
+            return False
+        self._registered.discard(subscription)
+        bucket = self._by_collection.get(subscription.query.collection, [])
+        bucket.remove(subscription)
+        return True
+
+    def subscription_count(self) -> int:
+        return len(self._registered)
+
+    def affected_resources(self, event: ChangeEvent) -> Set[str]:
+        """Resource keys whose query results the change may alter."""
+        affected: Set[str] = set()
+        for subscription in self._by_collection.get(event.collection, ()):
+            self.matches_evaluated += 1
+            query = subscription.query
+            before = event.before is not None and query.matches(
+                event.collection, event.before.data
+            )
+            after = event.after is not None and query.matches(
+                event.collection, event.after.data
+            )
+            if before or after:
+                affected.add(subscription.resource_key)
+        return affected

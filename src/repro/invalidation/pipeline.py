@@ -1,0 +1,168 @@
+"""The invalidation pipeline: write → detect → sketch + purge.
+
+On every document change the pipeline:
+
+1. resolves the affected resources — direct document dependents (from
+   the origin's version registry) plus query resources matched
+   InvaliDB-style;
+2. expands them to all cached *variants* (segment-personalized URLs);
+3. after ``detection_latency``, reports the write to the server Cache
+   Sketch and the adaptive TTL estimator;
+4. after ``purge_latency`` (total, from the write), purges the
+   variants from every CDN PoP.
+
+All latencies are measured and exposed for experiment E5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.cdn.network import Cdn
+from repro.http.freshness import freshness_lifetime
+from repro.http.messages import Response
+from repro.invalidation.matcher import QueryMatcher
+from repro.origin.server import OriginServer
+from repro.origin.store import ChangeEvent
+from repro.sim.environment import Environment
+from repro.sim.metrics import MetricRegistry
+from repro.sketch.cache_sketch import ServerCacheSketch
+
+
+class InvalidationEvent:
+    """Record of one processed invalidation (for tests/diagnostics)."""
+
+    __slots__ = ("resource_keys", "write_at", "sketch_at", "purge_at")
+
+    def __init__(self, resource_keys: Set[str], write_at: float) -> None:
+        self.resource_keys = resource_keys
+        self.write_at = write_at
+        self.sketch_at: Optional[float] = None
+        self.purge_at: Optional[float] = None
+
+
+class VariantIndex:
+    """Maps a version key to every cached variant cache key.
+
+    Segment personalization means one logical resource materializes
+    under several URLs (one per segment). The index learns variants as
+    the origin serves them, so an invalidation can purge all of them.
+    """
+
+    def __init__(self) -> None:
+        self._variants: Dict[str, Set[str]] = {}
+
+    def register(self, version_key: str, cache_key: str) -> None:
+        self._variants.setdefault(version_key, set()).add(cache_key)
+
+    def variants_of(self, version_key: str) -> Set[str]:
+        # The version key itself is always a purgeable key: the base
+        # (segment-free) URL may be cached too.
+        found = set(self._variants.get(version_key, ()))
+        found.add(version_key)
+        return found
+
+    def variant_count(self, version_key: str) -> int:
+        return len(self.variants_of(version_key))
+
+
+class InvalidationPipeline:
+    """Wires a store's change stream to sketch + CDN purge."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server: OriginServer,
+        cdn: Optional[Cdn] = None,
+        sketch: Optional[ServerCacheSketch] = None,
+        detection_latency: float = 0.025,
+        purge_latency: float = 0.080,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        if purge_latency < detection_latency:
+            raise ValueError(
+                "purge completes after detection: purge_latency "
+                f"{purge_latency} < detection_latency {detection_latency}"
+            )
+        self.env = env
+        self.server = server
+        self.cdn = cdn
+        self.sketch = sketch
+        self.detection_latency = detection_latency
+        self.purge_latency = purge_latency
+        self.metrics = metrics or MetricRegistry()
+        self.matcher = QueryMatcher()
+        self.variants = VariantIndex()
+        self.events: list = []
+        server.site.store.subscribe(self._on_change)
+        server.serve_observers.append(self._on_served)
+
+    # -- origin hooks ---------------------------------------------------------
+
+    def _on_served(
+        self, version_key: str, cache_key: str, response: Response, now: float
+    ) -> None:
+        """Learn about a handed-out copy: variants and sketch reads."""
+        self.variants.register(version_key, cache_key)
+        query = self.server.query_resources.get(version_key)
+        if query is not None:
+            self.matcher.subscribe(version_key, query)
+        if self.sketch is not None:
+            lifetime = max(
+                freshness_lifetime(response, shared=True),
+                freshness_lifetime(response, shared=False),
+            )
+            if lifetime > 0:
+                self.sketch.report_read(
+                    cache_key, expires_at=now + lifetime, now=now
+                )
+
+    def _on_change(self, event: ChangeEvent) -> None:
+        """Kick off asynchronous processing of one document change."""
+        affected = self.server.versions.dependents_of(event.key)
+        affected |= self.matcher.affected_resources(event)
+        if not affected:
+            self.metrics.counter("invalidation.no_op_changes").inc()
+            return
+        record = InvalidationEvent(affected, write_at=event.at)
+        self.events.append(record)
+        self.env.process(self._process(record))
+
+    # -- asynchronous processing -----------------------------------------------
+
+    def _process(self, record: InvalidationEvent):
+        """Simulated pipeline execution for one change."""
+        yield self.env.timeout(self.detection_latency)
+        cache_keys = self._expand(record.resource_keys)
+        record.sketch_at = self.env.now
+        self.metrics.histogram("invalidation.sketch_latency").observe(
+            record.sketch_at - record.write_at
+        )
+        if self.sketch is not None:
+            for cache_key in sorted(cache_keys):
+                self.sketch.report_write(cache_key, now=self.env.now)
+            stale_count = getattr(self.sketch, "stale_key_count", None)
+            if stale_count is not None:
+                self.metrics.series("invalidation.stale_keys").record(
+                    self.env.now, stale_count(self.env.now)
+                )
+        ttl_policy = getattr(self.server.ttl_policy, "observe_resource_write", None)
+        if ttl_policy is not None:
+            for resource_key in sorted(record.resource_keys):
+                ttl_policy(resource_key, self.env.now)
+
+        yield self.env.timeout(self.purge_latency - self.detection_latency)
+        record.purge_at = self.env.now
+        self.metrics.histogram("invalidation.purge_latency").observe(
+            record.purge_at - record.write_at
+        )
+        if self.cdn is not None:
+            for cache_key in sorted(cache_keys):
+                self.cdn.purge(cache_key)
+        self.metrics.counter("invalidation.processed").inc()
+
+    def _expand(self, resource_keys: Iterable[str]) -> Set[str]:
+        cache_keys: Set[str] = set()
+        for resource_key in resource_keys:
+            cache_keys |= self.variants.variants_of(resource_key)
+        return cache_keys

@@ -1,0 +1,67 @@
+"""The origin: the website being accelerated.
+
+Models the backend the paper's Orestes middleware fronts: a versioned
+document store with a small predicate query engine, a resource/version
+registry that maps stored documents to the URLs whose content they
+determine, a declarative site description, and an HTTP server façade
+that renders responses with ETags and Cache-Control headers.
+
+Writes to the store flow through change listeners — that is where the
+invalidation pipeline (:mod:`repro.invalidation`) attaches.
+"""
+
+from repro.origin.query import (
+    And,
+    Contains,
+    Eq,
+    Gt,
+    Gte,
+    In,
+    Lt,
+    Lte,
+    Not,
+    Or,
+    Predicate,
+    Query,
+)
+from repro.origin.server import OriginServer, TtlPolicy, StaticTtlPolicy
+from repro.origin.site import (
+    PersonalizationKind,
+    ResourceKind,
+    ResourceSpec,
+    Site,
+)
+from repro.origin.store import (
+    ChangeEvent,
+    Document,
+    DocumentStore,
+    VersionConflict,
+)
+from repro.origin.versioning import ResourceVersions
+
+__all__ = [
+    "And",
+    "ChangeEvent",
+    "Contains",
+    "Document",
+    "DocumentStore",
+    "Eq",
+    "Gt",
+    "Gte",
+    "In",
+    "Lt",
+    "Lte",
+    "Not",
+    "Or",
+    "OriginServer",
+    "PersonalizationKind",
+    "Predicate",
+    "Query",
+    "ResourceKind",
+    "ResourceSpec",
+    "ResourceVersions",
+    "Site",
+    "StaticTtlPolicy",
+    "TtlPolicy",
+    "VersionConflict",
+]

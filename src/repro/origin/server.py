@@ -1,0 +1,386 @@
+"""The origin HTTP server (the paper's Orestes middleware, reduced).
+
+Renders site resources into responses with ETags, ``Content-Length``
+and ``Cache-Control`` headers, tracks ground-truth resource versions,
+and exposes a write API whose changes flow to store listeners (the
+invalidation pipeline) and bump the versions of affected resources —
+including *query* resources, which are matched InvaliDB-style against
+both the before- and after-image of every change.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+)
+
+from repro.http.cache_control import CacheControl
+from repro.http.headers import Headers
+from repro.http.messages import (
+    Method,
+    Request,
+    Response,
+    Status,
+    make_not_modified,
+    revalidates,
+)
+from repro.http.url import URL
+from repro.origin.query import Query
+from repro.origin.site import (
+    PersonalizationKind,
+    ResourceKind,
+    ResourceSpec,
+    Site,
+)
+from repro.origin.store import ChangeEvent
+from repro.origin.versioning import ResourceVersions
+
+#: Query parameter the Speed Kit service worker uses to request a
+#: segment variant of a personalized resource.
+SEGMENT_PARAM = "sk_segment"
+
+#: Signature of origin serve observers: (version_key, cache_key,
+#: response, now).
+ServeObserver = Callable[[str, str, "Response", float], None]
+
+
+class TtlPolicy(Protocol):
+    """Decides the Cache-Control header of each rendered response."""
+
+    def cache_control(
+        self, spec: ResourceSpec, url: URL, personalized_for_user: bool
+    ) -> CacheControl:
+        """Build the directives for one response."""
+        ...  # pragma: no cover - protocol
+
+
+class StaticTtlPolicy:
+    """Fixed TTLs per resource kind — the classic CDN configuration.
+
+    ``ttl_hint`` on a spec overrides the kind default. User-personalized
+    responses are always ``private, no-store``-equivalent: a shared
+    cache must never store them (this is both the correctness and the
+    GDPR constraint of the baseline).
+    """
+
+    #: Default freshness lifetime per resource kind, in seconds.
+    DEFAULT_TTLS: Dict[ResourceKind, float] = {
+        ResourceKind.STATIC: 365 * 24 * 3600.0,
+        ResourceKind.PAGE: 300.0,
+        ResourceKind.API: 60.0,
+        ResourceKind.QUERY: 60.0,
+        ResourceKind.FRAGMENT: 0.0,
+    }
+
+    def __init__(
+        self,
+        overrides: Optional[Mapping[ResourceKind, float]] = None,
+        stale_while_revalidate: Optional[float] = None,
+    ) -> None:
+        self.ttls = dict(self.DEFAULT_TTLS)
+        if overrides:
+            self.ttls.update(overrides)
+        self.stale_while_revalidate = stale_while_revalidate
+
+    def cache_control(
+        self, spec: ResourceSpec, url: URL, personalized_for_user: bool
+    ) -> CacheControl:
+        if personalized_for_user:
+            return CacheControl(no_store=True, private=True)
+        ttl = spec.ttl_hint if spec.ttl_hint is not None else self.ttls[spec.kind]
+        if ttl <= 0:
+            return CacheControl(no_store=True)
+        cc = CacheControl(
+            public=True,
+            max_age=float(ttl),
+            stale_while_revalidate=self.stale_while_revalidate,
+        )
+        if spec.kind is ResourceKind.STATIC:
+            cc.immutable = True
+        return cc
+
+
+class OriginServer:
+    """Serves the site over simulated HTTP and tracks versions."""
+
+    def __init__(
+        self,
+        site: Site,
+        ttl_policy: Optional[TtlPolicy] = None,
+    ) -> None:
+        self.site = site
+        self.ttl_policy: TtlPolicy = ttl_policy or StaticTtlPolicy()
+        self.versions = ResourceVersions()
+        self._query_resources: Dict[str, Query] = {}
+        self.requests_served = 0
+        self.writes_applied = 0
+        # Called with (version_key, cache_key, response, now) for every
+        # successful response — the Cache Sketch backend listens here to
+        # learn which copies exist and until when they stay fresh.
+        self.serve_observers: List[ServeObserver] = []
+        site.store.subscribe(self._on_change)
+
+    @property
+    def query_resources(self) -> Dict[str, Query]:
+        """Registered query resources (version key → query), read-only."""
+        return dict(self._query_resources)
+
+    # -- write path ----------------------------------------------------------
+
+    def write(
+        self,
+        collection: str,
+        doc_id: str,
+        data: Mapping[str, Any],
+        at: float,
+    ) -> None:
+        """Apply a document write (bumps affected resource versions)."""
+        self.writes_applied += 1
+        self.site.store.put(collection, doc_id, data, at=at)
+
+    def update(
+        self,
+        collection: str,
+        doc_id: str,
+        changes: Mapping[str, Any],
+        at: float,
+    ) -> None:
+        """Merge changes into a document."""
+        self.writes_applied += 1
+        self.site.store.update(collection, doc_id, changes, at=at)
+
+    def _on_change(self, event: ChangeEvent) -> None:
+        """Bump versions of every resource the change affects."""
+        self.versions.bump_dependents(event.key, event.at)
+        for resource_key in sorted(self._query_resources):
+            query = self._query_resources[resource_key]
+            before_matches = event.before is not None and query.matches(
+                event.collection, event.before.data
+            )
+            after_matches = event.after is not None and query.matches(
+                event.collection, event.after.data
+            )
+            if before_matches or after_matches:
+                self.versions.bump(resource_key, event.at)
+
+    # -- read path -------------------------------------------------------------
+
+    def version_key_for(self, url: URL, user_id: Optional[str] = None) -> str:
+        """The key under which ``url``'s ground-truth version is tracked.
+
+        Segment variants of a resource share one version history: their
+        bodies differ per segment, but they change at the same instants
+        (whenever the underlying documents change). User-personalized
+        renderings get a per-user history, because each user's variant
+        changes when *that user's* documents change.
+        """
+        base = url.without_param(SEGMENT_PARAM)
+        if user_id is not None:
+            base = base.with_param("__user", user_id)
+        return base.cache_key()
+
+    def handle(self, request: Request, now: float) -> Response:
+        """Serve one request at simulated time ``now``."""
+        self.requests_served += 1
+        if request.method is not Method.GET:
+            return self._handle_write_request(request, now)
+        matched = self.site.match(request.url)
+        if matched is None:
+            return self._error(Status.NOT_FOUND, request.url, now)
+        spec, params = matched
+        return self._render(spec, params, request, now)
+
+    def _handle_write_request(self, request: Request, now: float) -> Response:
+        """``/api/documents/{collection}/{id}``: POST/PUT replace the
+        document, DELETE removes it."""
+        parts = request.url.path.strip("/").split("/")
+        if (
+            len(parts) != 4
+            or parts[0] != "api"
+            or parts[1] != "documents"
+        ):
+            return self._error(Status.BAD_REQUEST, request.url, now)
+        collection, doc_id = parts[2], parts[3]
+        if request.method is Method.DELETE:
+            self.writes_applied += 1
+            self.site.store.delete(collection, doc_id, at=now)
+        elif isinstance(request.body, Mapping):
+            self.write(collection, doc_id, request.body, at=now)
+        else:
+            return self._error(Status.BAD_REQUEST, request.url, now)
+        return Response(
+            status=Status.OK,
+            headers=Headers({"Cache-Control": "no-store"}),
+            url=request.url,
+            generated_at=now,
+            served_by="origin",
+        )
+
+    def _render(
+        self,
+        spec: ResourceSpec,
+        params: Dict[str, str],
+        request: Request,
+        now: float,
+    ) -> Response:
+        user_id = self._user_identity(request)
+        segment = request.url.params.get(SEGMENT_PARAM)
+        renders_user_content = (
+            spec.personalization is PersonalizationKind.USER
+            and user_id is not None
+        )
+        # A segment-personalized page requested WITH an identity but
+        # WITHOUT a segment parameter must be personalized from the
+        # session — making the response user-specific and uncacheable.
+        # This is exactly the classic-CDN dilemma Speed Kit's segment
+        # rewriting avoids.
+        personalizes_from_identity = (
+            spec.personalization is PersonalizationKind.SEGMENT
+            and user_id is not None
+            and segment is None
+        )
+        personalized_for_user = (
+            renders_user_content or personalizes_from_identity
+        )
+
+        version_key = self.version_key_for(
+            request.url, user_id if renders_user_content else None
+        )
+        self.versions.register(version_key, at=now)
+        doc_keys = spec.resolve_doc_keys(params)
+        if renders_user_content:
+            doc_keys = doc_keys + self._user_doc_keys(spec, user_id)
+        for doc_key in doc_keys:
+            self.versions.depend(version_key, doc_key)
+        query = spec.resolve_query(params)
+        if query is not None:
+            self._query_resources.setdefault(version_key, query)
+
+        body, found = self._render_body(
+            spec, params, query, user_id, segment
+        )
+        if not found:
+            return self._error(Status.NOT_FOUND, request.url, now)
+
+        version = self.versions.current(version_key)
+        etag = f'"{version_key}:v{version}"'
+        cc = self.ttl_policy.cache_control(
+            spec, request.url, personalized_for_user
+        )
+        headers = Headers(
+            {
+                "ETag": etag,
+                "Cache-Control": cc.serialize() or "no-store",
+                "Content-Length": str(spec.size_bytes),
+                "X-Resource-Kind": spec.kind.value,
+                # Lets the coherence checker map any response copy back
+                # to its ground-truth version history.
+                "X-Version-Key": version_key,
+            }
+        )
+        response = Response(
+            status=Status.OK,
+            headers=headers,
+            body=body,
+            url=request.url,
+            version=version,
+            served_by="origin",
+            generated_at=now,
+        )
+        for observer in self.serve_observers:
+            observer(version_key, request.url.cache_key(), response, now)
+        if revalidates(request, response):
+            return make_not_modified(response, at=now)
+        return response
+
+    def _user_identity(self, request: Request) -> Optional[str]:
+        """Extract the user identity the *origin* can see.
+
+        With the classic setup the session cookie travels along; with
+        Speed Kit the service worker strips it, so the origin renders
+        the anonymous/segment variant instead.
+        """
+        explicit = request.headers.get("X-User-Id")
+        if explicit:
+            return explicit
+        cookie = request.headers.get("Cookie")
+        if cookie:
+            for part in cookie.split(";"):
+                name, _, value = part.strip().partition("=")
+                if name == "session" and value:
+                    return value
+        return None
+
+    def _user_doc_keys(self, spec: ResourceSpec, user_id: str) -> list:
+        """Per-user documents a USER-personalized resource depends on."""
+        return [f"carts/{user_id}", f"profiles/{user_id}"]
+
+    def _render_body(
+        self,
+        spec: ResourceSpec,
+        params: Dict[str, str],
+        query: Optional[Query],
+        user_id: Optional[str],
+        segment: Optional[str],
+    ) -> Tuple[str, bool]:
+        """Build the response body; ``found=False`` maps to 404."""
+        store = self.site.store
+        if spec.kind is ResourceKind.QUERY and query is not None:
+            docs = store.find(query)
+            payload = {
+                "query": query.key(),
+                "results": [
+                    {"id": doc.doc_id, **dict(doc.data)} for doc in docs
+                ],
+                "segment": segment,
+            }
+            return json.dumps(payload, default=str), True
+
+        doc_keys = spec.resolve_doc_keys(params)
+        docs = []
+        for doc_key in doc_keys:
+            collection, _, doc_id = doc_key.partition("/")
+            doc = store.get(collection, doc_id)
+            if doc is None and spec.kind in (
+                ResourceKind.PAGE,
+                ResourceKind.API,
+                ResourceKind.STATIC,
+            ):
+                return "", False
+            if doc is not None:
+                docs.append(doc)
+
+        payload = {
+            "resource": spec.name,
+            "params": params,
+            "docs": {doc.key: dict(doc.data) for doc in docs},
+            "versions": {doc.key: doc.version for doc in docs},
+        }
+        if segment is not None:
+            payload["segment"] = segment
+        if user_id is not None and (
+            spec.personalization is PersonalizationKind.USER
+        ):
+            cart = store.get("carts", user_id)
+            profile = store.get("profiles", user_id)
+            payload["user"] = user_id
+            payload["cart"] = dict(cart.data) if cart else {}
+            payload["profile"] = dict(profile.data) if profile else {}
+        return json.dumps(payload, default=str), True
+
+    def _error(self, status: Status, url: URL, now: float) -> Response:
+        return Response(
+            status=status,
+            headers=Headers({"Cache-Control": "no-store"}),
+            url=url,
+            generated_at=now,
+            served_by="origin",
+        )

@@ -1,0 +1,226 @@
+"""Versioned in-memory document store with change notification.
+
+The store is the paper's "polyglot backend" reduced to semantics:
+documents live in named collections, every write bumps a per-document
+version, and registered listeners observe each change — which is how
+the invalidation pipeline and the Cache Sketch learn about writes.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.origin.query import Query
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable snapshot of one stored document."""
+
+    collection: str
+    doc_id: str
+    data: Mapping[str, Any]
+    version: int
+    updated_at: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.collection}/{self.doc_id}"
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """Emitted to listeners after every successful write or delete."""
+
+    collection: str
+    doc_id: str
+    before: Optional[Document]
+    after: Optional[Document]
+    at: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.collection}/{self.doc_id}"
+
+    @property
+    def is_insert(self) -> bool:
+        return self.before is None and self.after is not None
+
+    @property
+    def is_delete(self) -> bool:
+        return self.after is None
+
+    @property
+    def is_update(self) -> bool:
+        return self.before is not None and self.after is not None
+
+
+ChangeListener = Callable[[ChangeEvent], None]
+
+
+class VersionConflict(Exception):
+    """Raised by conditional writes whose expected version is stale."""
+
+    def __init__(
+        self, collection: str, doc_id: str, expected: int, actual: int
+    ) -> None:
+        super().__init__(
+            f"{collection}/{doc_id}: expected version {expected}, "
+            f"found {actual}"
+        )
+        self.collection = collection
+        self.doc_id = doc_id
+        self.expected = expected
+        self.actual = actual
+
+
+class DocumentStore:
+    """Collections of versioned documents.
+
+    Reads return immutable :class:`Document` snapshots with deep-copied
+    data, so callers can never corrupt stored state. Versions start at 1
+    and increase by 1 per write to the same document id.
+    """
+
+    def __init__(self) -> None:
+        self._collections: Dict[str, Dict[str, Document]] = {}
+        self._listeners: List[ChangeListener] = []
+
+    def subscribe(self, listener: ChangeListener) -> None:
+        """Register a listener called synchronously after each change."""
+        self._listeners.append(listener)
+
+    def _emit(self, event: ChangeEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    # -- writes ------------------------------------------------------------
+
+    def put(
+        self,
+        collection: str,
+        doc_id: str,
+        data: Mapping[str, Any],
+        at: float = 0.0,
+    ) -> Document:
+        """Insert or fully replace a document; returns the new snapshot."""
+        docs = self._collections.setdefault(collection, {})
+        before = docs.get(doc_id)
+        version = 1 if before is None else before.version + 1
+        after = Document(
+            collection=collection,
+            doc_id=doc_id,
+            data=copy.deepcopy(dict(data)),
+            version=version,
+            updated_at=at,
+        )
+        docs[doc_id] = after
+        self._emit(
+            ChangeEvent(
+                collection=collection,
+                doc_id=doc_id,
+                before=before,
+                after=after,
+                at=at,
+            )
+        )
+        return after
+
+    def update(
+        self,
+        collection: str,
+        doc_id: str,
+        changes: Mapping[str, Any],
+        at: float = 0.0,
+    ) -> Document:
+        """Merge ``changes`` into an existing document."""
+        current = self.get(collection, doc_id)
+        if current is None:
+            raise KeyError(f"no document {collection}/{doc_id}")
+        merged = dict(current.data)
+        merged.update(changes)
+        return self.put(collection, doc_id, merged, at=at)
+
+    def put_if_version(
+        self,
+        collection: str,
+        doc_id: str,
+        data: Mapping[str, Any],
+        expected_version: int,
+        at: float = 0.0,
+    ) -> Document:
+        """Optimistic concurrency: replace iff the stored version is
+        ``expected_version``.
+
+        ``expected_version=0`` means "must not exist yet" (insert-only).
+        Raises :class:`VersionConflict` on a lost race — the caller
+        re-reads and retries, exactly as against the real Orestes API.
+        """
+        current = self._collections.get(collection, {}).get(doc_id)
+        actual = current.version if current is not None else 0
+        if actual != expected_version:
+            raise VersionConflict(
+                collection, doc_id, expected_version, actual
+            )
+        return self.put(collection, doc_id, data, at=at)
+
+    def delete(self, collection: str, doc_id: str, at: float = 0.0) -> None:
+        """Remove a document; no-op if absent."""
+        docs = self._collections.get(collection, {})
+        before = docs.pop(doc_id, None)
+        if before is None:
+            return
+        self._emit(
+            ChangeEvent(
+                collection=collection,
+                doc_id=doc_id,
+                before=before,
+                after=None,
+                at=at,
+            )
+        )
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, collection: str, doc_id: str) -> Optional[Document]:
+        doc = self._collections.get(collection, {}).get(doc_id)
+        if doc is None:
+            return None
+        # Data is deep-copied on write; snapshots themselves are frozen,
+        # but nested mutables inside .data must not alias stored state.
+        return Document(
+            collection=doc.collection,
+            doc_id=doc.doc_id,
+            data=copy.deepcopy(dict(doc.data)),
+            version=doc.version,
+            updated_at=doc.updated_at,
+        )
+
+    def find(self, query: Query) -> List[Document]:
+        """Evaluate a query: filter, order, limit."""
+        docs = [
+            self.get(query.collection, doc_id)
+            for doc_id in sorted(self._collections.get(query.collection, {}))
+        ]
+        results = [
+            doc
+            for doc in docs
+            if doc is not None and query.matches(doc.collection, doc.data)
+        ]
+        if query.order_by is not None:
+            field = query.order_by
+            results.sort(
+                key=lambda d: (d.data.get(field) is None, d.data.get(field)),
+                reverse=query.descending,
+            )
+        if query.limit is not None:
+            results = results[: query.limit]
+        return results
+
+    def count(self, collection: str) -> int:
+        return len(self._collections.get(collection, {}))
+
+    def collections(self) -> List[str]:
+        return sorted(self._collections)

@@ -1,0 +1,132 @@
+"""Resource version tracking for coherence verification.
+
+Every cacheable *resource* (identified by its cache key, i.e. URL) has a
+version that bumps whenever any of the documents it is rendered from
+changes. The full bump history is retained so the Δ-atomicity checker
+can ask "which version was current at time *t*?" — the ground truth
+every staleness measurement compares against.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class ResourceVersions:
+    """Versions and dependency links for all resources of a site."""
+
+    def __init__(self) -> None:
+        # resource key -> ordered (time, version) history
+        self._history: Dict[str, List[Tuple[float, int]]] = {}
+        # document key -> resource keys depending on it
+        self._dependents: Dict[str, Set[str]] = {}
+        # resource key -> document keys it depends on (reverse index)
+        self._dependencies: Dict[str, Set[str]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, resource_key: str, at: float = 0.0) -> None:
+        """Ensure a resource exists (version 1 from time ``at``)."""
+        if resource_key not in self._history:
+            self._history[resource_key] = [(at, 1)]
+
+    def depend(self, resource_key: str, doc_key: str) -> None:
+        """Record that ``resource_key`` is rendered from ``doc_key``."""
+        self.register(resource_key)
+        self._dependents.setdefault(doc_key, set()).add(resource_key)
+        self._dependencies.setdefault(resource_key, set()).add(doc_key)
+
+    def dependents_of(self, doc_key: str) -> Set[str]:
+        """Resources whose content a document write may change."""
+        return set(self._dependents.get(doc_key, ()))
+
+    def dependencies_of(self, resource_key: str) -> Set[str]:
+        return set(self._dependencies.get(resource_key, ()))
+
+    # -- version bookkeeping -------------------------------------------------
+
+    def bump(self, resource_key: str, at: float) -> int:
+        """Advance a resource's version at time ``at``; returns it."""
+        self.register(resource_key, at=at)
+        history = self._history[resource_key]
+        last_time, last_version = history[-1]
+        if at < last_time:
+            raise ValueError(
+                f"bump at {at} precedes last bump at {last_time} "
+                f"for {resource_key!r}"
+            )
+        new_version = last_version + 1
+        history.append((at, new_version))
+        return new_version
+
+    def bump_dependents(self, doc_key: str, at: float) -> Set[str]:
+        """Bump every resource depending on ``doc_key``; returns them."""
+        affected = self.dependents_of(doc_key)
+        for resource_key in sorted(affected):
+            self.bump(resource_key, at)
+        return affected
+
+    def current(self, resource_key: str) -> int:
+        """The latest version of a resource."""
+        try:
+            return self._history[resource_key][-1][1]
+        except KeyError:
+            raise KeyError(f"unknown resource {resource_key!r}") from None
+
+    def version_at(self, resource_key: str, at: float) -> int:
+        """The version that was current at time ``at``.
+
+        Before the first registration the resource did not exist;
+        asking for such a time raises.
+        """
+        try:
+            history = self._history[resource_key]
+        except KeyError:
+            raise KeyError(f"unknown resource {resource_key!r}") from None
+        index = bisect.bisect_right(history, (at, float("inf"))) - 1
+        if index < 0:
+            raise ValueError(
+                f"{resource_key!r} did not exist at time {at} "
+                f"(first version at {history[0][0]})"
+            )
+        return history[index][1]
+
+    def versions_between(
+        self, resource_key: str, start: float, end: float
+    ) -> List[int]:
+        """All versions that were current at some point in [start, end].
+
+        This is the acceptance set of Δ-atomicity: a read at time *t*
+        with staleness bound Δ must return a version from
+        ``versions_between(key, t - Δ, t)``.
+        """
+        if end < start:
+            raise ValueError(f"end {end} precedes start {start}")
+        history = self._history[resource_key]
+        versions = [
+            version for time, version in history if start < time <= end
+        ]
+        # The version current at `start` is also acceptable.
+        first = bisect.bisect_right(history, (start, float("inf"))) - 1
+        if first >= 0:
+            versions.insert(0, history[first][1])
+        return versions
+
+    def superseded_at(
+        self, resource_key: str, version: int
+    ) -> Optional[float]:
+        """When ``version`` stopped being current (``None`` if it still
+        is, or never existed)."""
+        history = self._history[resource_key]
+        for time, v in history:
+            if v == version + 1:
+                return time
+        return None
+
+    def history(self, resource_key: str) -> List[Tuple[float, int]]:
+        """The full (time, version) bump history of a resource."""
+        return list(self._history[resource_key])
+
+    def known_resources(self) -> List[str]:
+        return sorted(self._history)

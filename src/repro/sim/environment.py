@@ -1,0 +1,108 @@
+"""The simulation environment: clock plus event queue."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Environment:
+    """Owns simulated time and executes events in timestamp order.
+
+    Ties are broken by scheduling order (a monotonically increasing
+    sequence number), which makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered event to be processed after ``delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event: fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event: fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise StopSimulation("event queue is empty")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event.ok and not getattr(event, "defused", False):
+            # A failed event nobody is waiting on would otherwise be
+            # silently dropped; surface it so bugs cannot hide. Set
+            # ``event.defused = True`` to opt out for a specific event.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until``
+        even if no event falls on that instant, so back-to-back ``run``
+        calls compose predictably.
+        """
+        if until is not None:
+            if until < self._now:
+                raise ValueError(
+                    f"until={until} lies in the past (now={self._now})"
+                )
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = float(until)
+            return
+        while self._queue:
+            self.step()

@@ -1,0 +1,200 @@
+"""Metric collection for simulations.
+
+Plain in-memory collectors: counters, gauges, value histograms with
+percentile queries, and time series. A :class:`MetricRegistry` groups
+them under hierarchical dotted names so harness code can dump every
+metric of a run in one pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can move up and down."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Stores raw observations; answers percentile/mean queries exactly.
+
+    Simulations here record at most a few million observations, so exact
+    storage is affordable and avoids bucket-boundary artifacts in the
+    reproduced figures.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return tuple(self._values)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile via linear interpolation; ``q`` in [0, 100]."""
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        self._ensure_sorted()
+        if len(self._values) == 1:
+            return self._values[0]
+        rank = (q / 100.0) * (len(self._values) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return self._values[low]
+        weight = rank - low
+        return self._values[low] * (1 - weight) + self._values[high] * weight
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return sum(self._values) / len(self._values)
+
+    def min(self) -> float:
+        self._ensure_sorted()
+        return self._values[0]
+
+    def max(self) -> float:
+        self._ensure_sorted()
+        return self._values[-1]
+
+    def stddev(self) -> float:
+        if len(self._values) < 2:
+            return 0.0
+        mu = self.mean()
+        var = sum((v - mu) ** 2 for v in self._values) / (len(self._values) - 1)
+        return math.sqrt(var)
+
+    def summary(self) -> Dict[str, float]:
+        """The standard row reported by the benchmark harness."""
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self.min(),
+            "max": self.max(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(name={self.name!r}, count={self.count})"
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped observations, e.g. hit-ratio over simulated time."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.points.append((float(time), float(value)))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values_between(self, start: float, end: float) -> List[float]:
+        return [v for t, v in self.points if start <= t <= end]
+
+
+class MetricRegistry:
+    """Create-or-get access to named metrics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        return self._counters.get(name)
+
+    def counter_names(self) -> List[str]:
+        """Names of all counters created so far (sorted)."""
+        return sorted(self._counters)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A flat dict of every metric's current value/summary."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            out[name] = hist.summary()
+        for name, series in self._series.items():
+            out[name] = len(series)
+        return out

@@ -1,0 +1,60 @@
+"""Failure injection: node outages on a schedule.
+
+A :class:`FaultSchedule` declares windows of simulated time during
+which a named node (typically ``"origin"``) is down. The transport
+layer consults it and answers ``503 Service Unavailable`` for requests
+reaching a dead node — which is what lets the Speed Kit service worker
+demonstrate its offline-resilience behaviour (serving cached copies
+through an origin outage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One [start, end) interval of unavailability."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"empty outage window [{self.start}, {self.end})"
+            )
+
+    def covers(self, at: float) -> bool:
+        return self.start <= at < self.end
+
+
+@dataclass
+class FaultSchedule:
+    """Outage windows per node name."""
+
+    outages: Dict[str, List[OutageWindow]] = field(default_factory=dict)
+
+    def add_outage(self, node: str, start: float, end: float) -> None:
+        """Declare that ``node`` is down during [start, end)."""
+        self.outages.setdefault(node, []).append(OutageWindow(start, end))
+
+    def is_down(self, node: str, at: float) -> bool:
+        return any(
+            window.covers(at) for window in self.outages.get(node, ())
+        )
+
+    def total_downtime(self, node: str) -> float:
+        return sum(
+            window.end - window.start
+            for window in self.outages.get(node, ())
+        )
+
+    @classmethod
+    def origin_outage(cls, start: float, end: float) -> "FaultSchedule":
+        """The common case: one origin outage window."""
+        schedule = cls()
+        schedule.add_outage("origin", start, end)
+        return schedule

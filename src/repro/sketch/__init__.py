@@ -1,0 +1,34 @@
+"""The Cache Sketch and its Bloom filter substrate.
+
+The Cache Sketch (Gessert et al., BTW 2015) is the core client-side
+staleness-detection structure of Speed Kit: the server maintains a
+*counting* Bloom filter of all resources that are stale in some
+expiration-based cache (written while unexpired copies existed), and
+clients periodically fetch a flattened, plain Bloom filter of it. A
+cached resource found in the client's sketch must be revalidated; one
+absent from it may be served from cache — with false positives causing
+only spurious revalidations, never staleness.
+"""
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.counting import CountingBloomFilter
+from repro.sketch.cache_sketch import ClientCacheSketch, ServerCacheSketch
+from repro.sketch.rotating import RotatingCacheSketch
+from repro.sketch.sizing import (
+    expected_fpr,
+    optimal_bits,
+    optimal_hashes,
+    optimal_parameters,
+)
+
+__all__ = [
+    "BloomFilter",
+    "ClientCacheSketch",
+    "CountingBloomFilter",
+    "RotatingCacheSketch",
+    "ServerCacheSketch",
+    "expected_fpr",
+    "optimal_bits",
+    "optimal_hashes",
+    "optimal_parameters",
+]

@@ -1,0 +1,46 @@
+"""Bloom filter sizing math (standard formulas).
+
+For ``n`` expected elements and target false-positive rate ``p``:
+
+* optimal bit count:  ``m = -n ln p / (ln 2)^2``
+* optimal hash count: ``k = (m / n) ln 2``
+* expected FPR at load: ``(1 - (1 - 1/m)^(k n))^k``
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def optimal_bits(n: int, p: float) -> int:
+    """Bits needed for ``n`` elements at false-positive rate ``p``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    return max(8, math.ceil(-n * math.log(p) / (math.log(2) ** 2)))
+
+
+def optimal_hashes(m: int, n: int) -> int:
+    """Hash function count minimizing FPR for ``m`` bits, ``n`` elements."""
+    if m <= 0 or n <= 0:
+        raise ValueError(f"m and n must be positive, got m={m}, n={n}")
+    return max(1, round((m / n) * math.log(2)))
+
+
+def optimal_parameters(n: int, p: float) -> Tuple[int, int]:
+    """``(m, k)`` for ``n`` expected elements at target FPR ``p``."""
+    m = optimal_bits(n, p)
+    return m, optimal_hashes(m, n)
+
+
+def expected_fpr(m: int, k: int, n: int) -> float:
+    """Expected false-positive rate with ``n`` elements inserted."""
+    if m <= 0 or k <= 0:
+        raise ValueError(f"m and k must be positive, got m={m}, k={k}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n == 0:
+        return 0.0
+    return (1.0 - (1.0 - 1.0 / m) ** (k * n)) ** k

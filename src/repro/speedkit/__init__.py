@@ -1,0 +1,50 @@
+"""Speed Kit: the paper's contribution.
+
+The service worker proxy (:class:`ServiceWorkerProxy`) intercepts every
+request a page makes and decides, per configured routing rules, whether
+to accelerate it through the caching infrastructure (CDN + Cache
+Sketch + service worker cache) or pass it through untouched. Sensitive
+information never leaves the device: the GDPR layer strips identifying
+headers from accelerated requests, replaces identity with a coarse
+*segment* for personalized-but-cacheable content, and keeps per-user
+data on direct first-party connections only.
+
+Server-side, :class:`SpeedKitBackend` wires the origin, the server
+Cache Sketch, the invalidation pipeline, and the CDN into one
+deployable unit.
+"""
+
+from repro.speedkit.backend import SpeedKitBackend
+from repro.speedkit.blocks import BlockSpec, DynamicBlockAssembler
+from repro.speedkit.config import RoutingRules, SpeedKitConfig
+from repro.speedkit.gdpr import (
+    ConsentManager,
+    PiiVault,
+    Purpose,
+    RequestScrubber,
+    ScrubReport,
+)
+from repro.speedkit.prefetch import NavigationPredictor, Prefetcher
+from repro.speedkit.prewarm import PrewarmReport, prewarm
+from repro.speedkit.segments import SegmentResolver, SegmentScheme
+from repro.speedkit.worker import ServiceWorkerProxy
+
+__all__ = [
+    "BlockSpec",
+    "ConsentManager",
+    "DynamicBlockAssembler",
+    "NavigationPredictor",
+    "Prefetcher",
+    "PiiVault",
+    "PrewarmReport",
+    "Purpose",
+    "RequestScrubber",
+    "RoutingRules",
+    "ScrubReport",
+    "SegmentResolver",
+    "SegmentScheme",
+    "ServiceWorkerProxy",
+    "SpeedKitBackend",
+    "SpeedKitConfig",
+    "prewarm",
+]

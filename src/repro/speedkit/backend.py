@@ -1,0 +1,56 @@
+"""Server-side Speed Kit deployment: origin + sketch + pipeline + CDN."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cdn.network import Cdn
+from repro.invalidation.pipeline import InvalidationPipeline
+from repro.origin.server import OriginServer, TtlPolicy
+from repro.origin.site import Site
+from repro.sim.environment import Environment
+from repro.sim.metrics import MetricRegistry
+from repro.sketch.cache_sketch import ServerCacheSketch
+
+
+class SpeedKitBackend:
+    """Everything that runs outside the user's device.
+
+    Bundles the origin server, the server-side Cache Sketch, the
+    invalidation pipeline, and the CDN, wired together: origin serves
+    feed the sketch's read reports, store writes flow through the
+    pipeline into sketch additions and CDN purges.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        site: Site,
+        ttl_policy: Optional[TtlPolicy] = None,
+        pop_names: Optional[List[str]] = None,
+        sketch_capacity: int = 20_000,
+        sketch_target_fpr: float = 0.05,
+        detection_latency: float = 0.025,
+        purge_latency: float = 0.080,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self.env = env
+        self.metrics = metrics or MetricRegistry()
+        self.server = OriginServer(site, ttl_policy=ttl_policy)
+        self.sketch = ServerCacheSketch(
+            capacity=sketch_capacity, target_fpr=sketch_target_fpr
+        )
+        self.cdn = Cdn(pop_names or ["edge-1"], metrics=self.metrics)
+        self.pipeline = InvalidationPipeline(
+            env,
+            self.server,
+            cdn=self.cdn,
+            sketch=self.sketch,
+            detection_latency=detection_latency,
+            purge_latency=purge_latency,
+            metrics=self.metrics,
+        )
+
+    @property
+    def site(self) -> Site:
+        return self.server.site

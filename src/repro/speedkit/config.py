@@ -1,0 +1,150 @@
+"""Speed Kit configuration: routing rules and protocol knobs.
+
+Mirrors the production Speed Kit config format in spirit: site owners
+whitelist URL patterns to accelerate, blacklist exceptions, and mark
+which paths are segment-personalized (cacheable per user segment) or
+user-personalized (never shared; fetched directly with credentials).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.http.messages import Request
+
+
+@dataclass
+class RoutingRules:
+    """Which requests the service worker accelerates.
+
+    Patterns are shell-style globs matched against the URL path
+    (``fnmatch``). A request is accelerated iff its method is safe, its
+    path matches a whitelist pattern, and matches no blacklist pattern.
+    An empty whitelist means "accelerate everything not blacklisted".
+    """
+
+    whitelist: List[str] = field(default_factory=list)
+    blacklist: List[str] = field(default_factory=list)
+
+    def should_accelerate(self, request: Request) -> bool:
+        if not request.method.is_safe:
+            return False
+        path = request.url.path
+        for pattern in self.blacklist:
+            if fnmatch.fnmatch(path, pattern):
+                return False
+        if not self.whitelist:
+            return True
+        return any(
+            fnmatch.fnmatch(path, pattern) for pattern in self.whitelist
+        )
+
+
+@dataclass
+class SpeedKitConfig:
+    """All knobs of one Speed Kit installation."""
+
+    #: Routing: what goes through the caching infrastructure.
+    rules: RoutingRules = field(default_factory=RoutingRules)
+    #: Sketch refresh interval — the protocol's Δ contribution.
+    sketch_refresh_interval: float = 60.0
+    #: Paths whose content varies per user segment; the worker requests
+    #: the segment variant for these (glob patterns).
+    segment_personalized: List[str] = field(default_factory=list)
+    #: Paths whose content is per-user; always fetched directly with
+    #: credentials, never through shared caches (glob patterns).
+    user_personalized: List[str] = field(default_factory=list)
+    #: Service worker cache bounds.
+    sw_cache_max_entries: Optional[int] = None
+    sw_cache_max_bytes: Optional[int] = 50_000_000
+    #: Refresh the sketch eagerly on navigation in addition to the
+    #: periodic background refresh.
+    refresh_on_navigation: bool = True
+    #: Offline resilience: when the origin is unreachable (5xx), serve
+    #: the cached copy even if it would normally be revalidated.
+    offline_mode: bool = True
+    #: Stale-while-revalidate: answer revalidation-flagged requests
+    #: from cache immediately and refresh in the background — but only
+    #: for copies verified current within ``swr_staleness_budget``
+    #: seconds, which is therefore the staleness bound in this mode.
+    stale_while_revalidate: bool = False
+    swr_staleness_budget: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.sketch_refresh_interval <= 0:
+            raise ValueError(
+                "sketch_refresh_interval must be positive, got "
+                f"{self.sketch_refresh_interval}"
+            )
+
+    def _matches_any(self, path: str, patterns: Sequence[str]) -> bool:
+        return any(fnmatch.fnmatch(path, pattern) for pattern in patterns)
+
+    def is_segment_personalized(self, request: Request) -> bool:
+        return self._matches_any(request.url.path, self.segment_personalized)
+
+    def is_user_personalized(self, request: Request) -> bool:
+        return self._matches_any(request.url.path, self.user_personalized)
+
+    def to_dict(self) -> dict:
+        """Serialize to the JSON-compatible config-file format."""
+        return {
+            "whitelist": list(self.rules.whitelist),
+            "blacklist": list(self.rules.blacklist),
+            "sketch_refresh_interval": self.sketch_refresh_interval,
+            "segment_personalized": list(self.segment_personalized),
+            "user_personalized": list(self.user_personalized),
+            "sw_cache_max_entries": self.sw_cache_max_entries,
+            "sw_cache_max_bytes": self.sw_cache_max_bytes,
+            "refresh_on_navigation": self.refresh_on_navigation,
+            "offline_mode": self.offline_mode,
+            "stale_while_revalidate": self.stale_while_revalidate,
+            "swr_staleness_budget": self.swr_staleness_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpeedKitConfig":
+        """Load from the config-file format; unknown keys are rejected
+        (a typo in a caching config should fail loudly, not silently
+        disable acceleration)."""
+        known = {
+            "whitelist",
+            "blacklist",
+            "sketch_refresh_interval",
+            "segment_personalized",
+            "user_personalized",
+            "sw_cache_max_entries",
+            "sw_cache_max_bytes",
+            "refresh_on_navigation",
+            "offline_mode",
+            "stale_while_revalidate",
+            "swr_staleness_budget",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        kwargs = {key: value for key, value in data.items() if key in known}
+        rules = RoutingRules(
+            whitelist=list(kwargs.pop("whitelist", [])),
+            blacklist=list(kwargs.pop("blacklist", [])),
+        )
+        return cls(rules=rules, **kwargs)
+
+    @classmethod
+    def ecommerce_default(cls) -> "SpeedKitConfig":
+        """The configuration the field deployments in the paper use."""
+        return cls(
+            rules=RoutingRules(
+                whitelist=["/", "/static/*", "/product/*", "/category/*",
+                           "/api/products/*", "/api/recommendations",
+                           "/search"],
+                blacklist=["/checkout*", "/account*", "/api/documents/*"],
+            ),
+            sketch_refresh_interval=60.0,
+            segment_personalized=[
+                "/product/*", "/category/*", "/", "/api/recommendations"
+            ],
+            user_personalized=["/api/blocks/*"],
+        )

@@ -1,0 +1,97 @@
+"""User segmentation: coarse, cacheable stand-ins for identity.
+
+Segment-personalized content (prices per customer tier, locale
+variants, A/B cohorts) does not need the user's identity — only the
+segment. The :class:`SegmentResolver` derives a segment id from vault
+attributes *inside the device*; only that id ever leaves it, as the
+``sk_segment`` query parameter. Cache efficiency then scales with the
+number of segments rather than the number of users.
+
+:meth:`SegmentScheme.anonymity_report` checks the k-anonymity of a
+segmentation over a user population — a segment observed by fewer than
+*k* users would re-identify them, defeating the purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Tuple
+
+from repro.speedkit.gdpr import ConsentManager, PiiVault, Purpose
+
+#: Derives one dimension of the segment from vault attributes.
+DimensionFn = Callable[[Mapping[str, Any]], str]
+
+
+@dataclass
+class SegmentScheme:
+    """Named dimensions that together form the segment id."""
+
+    dimensions: List[Tuple[str, DimensionFn]] = field(default_factory=list)
+
+    def add_dimension(self, name: str, fn: DimensionFn) -> "SegmentScheme":
+        self.dimensions.append((name, fn))
+        return self
+
+    def segment_of(self, attributes: Mapping[str, Any]) -> str:
+        """The segment id for one user's attributes."""
+        if not self.dimensions:
+            return "all"
+        parts = [fn(attributes) for _, fn in self.dimensions]
+        return "|".join(parts)
+
+    def anonymity_report(
+        self, populations: Iterable[Mapping[str, Any]]
+    ) -> Dict[str, int]:
+        """Users per segment over a population (k-anonymity check)."""
+        counts: Dict[str, int] = {}
+        for attributes in populations:
+            segment = self.segment_of(attributes)
+            counts[segment] = counts.get(segment, 0) + 1
+        return counts
+
+    def min_anonymity(
+        self, populations: Iterable[Mapping[str, Any]]
+    ) -> int:
+        """The smallest segment size (the k in k-anonymity)."""
+        counts = self.anonymity_report(populations)
+        return min(counts.values()) if counts else 0
+
+    @classmethod
+    def ecommerce_default(cls) -> "SegmentScheme":
+        """Tier × locale — the typical shop segmentation."""
+        scheme = cls()
+        scheme.add_dimension(
+            "tier", lambda attrs: str(attrs.get("tier", "standard"))
+        )
+        scheme.add_dimension(
+            "locale", lambda attrs: str(attrs.get("locale", "en"))
+        )
+        return scheme
+
+
+class SegmentResolver:
+    """Resolves the current user's segment, respecting consent."""
+
+    #: Segment used for anonymous users and non-consenting users.
+    DEFAULT_SEGMENT = "anonymous"
+
+    def __init__(
+        self,
+        scheme: SegmentScheme,
+        vault: PiiVault,
+        consent: ConsentManager,
+    ) -> None:
+        self.scheme = scheme
+        self.vault = vault
+        self.consent = consent
+
+    def resolve(self) -> str:
+        """The segment id to attach to accelerated requests."""
+        if not self.consent.allows(Purpose.SEGMENTATION):
+            return self.DEFAULT_SEGMENT
+        if not self.vault.has_identity:
+            return self.DEFAULT_SEGMENT
+        return self.scheme.segment_of(
+            self.vault.attributes_for_segmentation()
+        )

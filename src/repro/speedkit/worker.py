@@ -1,0 +1,308 @@
+"""The Speed Kit service worker proxy — the GDPR-compliant client proxy.
+
+Implements the :class:`~repro.browser.client.Fetcher` protocol, so the
+page load engine can drive it exactly like a plain browser. Per
+request it decides among three paths:
+
+* **pass-through** — no consent, unsafe method, or blacklisted path:
+  the request goes directly to the origin, untouched (identical to not
+  having Speed Kit at all);
+* **user-personalized** — per-user blocks: fetched on the direct
+  first-party connection with credentials from the PII vault; never
+  cached in shared infrastructure;
+* **accelerated** — everything else: identifying data is scrubbed,
+  segment-personalized paths are rewritten to their segment variant,
+  and the Cache Sketch decision procedure picks serve / revalidate /
+  fetch against the service worker cache and the CDN.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cdn.cache import CacheStore
+from repro.cdn.httpcache import HttpCache
+from repro.cdn.network import Cdn
+from repro.browser.transport import Transport
+from repro.coherence.client import SketchClient
+from repro.coherence.decision import ReadDecision, decide
+from repro.http.freshness import conditional_request_for
+from repro.http.messages import Request, Response, Status
+from repro.origin.server import SEGMENT_PARAM
+from repro.sim.metrics import MetricRegistry
+from repro.speedkit.config import SpeedKitConfig
+from repro.speedkit.gdpr import (
+    ConsentManager,
+    PiiVault,
+    Purpose,
+    RequestScrubber,
+)
+from repro.speedkit.segments import SegmentResolver
+
+
+class _SwCache(HttpCache):
+    METRIC_SCOPE = "sw"
+
+
+class ServiceWorkerProxy:
+    """One user's Speed Kit service worker."""
+
+    def __init__(
+        self,
+        node: str,
+        transport: Transport,
+        cdn: Cdn,
+        config: SpeedKitConfig,
+        vault: PiiVault,
+        consent: ConsentManager,
+        segments: SegmentResolver,
+        sketch_client: SketchClient,
+        scrubber: Optional[RequestScrubber] = None,
+        metrics: Optional[MetricRegistry] = None,
+        fallback: Optional[object] = None,
+    ) -> None:
+        self.node = node
+        self.transport = transport
+        self.cdn = cdn
+        self.config = config
+        self.vault = vault
+        self.consent = consent
+        self.segments = segments
+        self.sketch_client = sketch_client
+        self.scrubber = scrubber or RequestScrubber()
+        self.metrics = metrics or MetricRegistry()
+        self.cache = _SwCache(
+            f"sw:{node}",
+            CacheStore(
+                shared=False,
+                max_entries=config.sw_cache_max_entries,
+                max_bytes=config.sw_cache_max_bytes,
+            ),
+            metrics=self.metrics,
+        )
+        # Requests the worker does NOT accelerate still flow through
+        # the regular browser HTTP cache, exactly as without a service
+        # worker installed.
+        if fallback is None:
+            from repro.browser.client import BrowserClient
+
+            fallback = BrowserClient(node, transport, metrics=self.metrics)
+        self.fallback = fallback
+
+    @property
+    def _now(self) -> float:
+        return self.transport.env.now
+
+    def _count(self, which: str) -> None:
+        self.metrics.counter(f"speedkit.{self.node}.{which}").inc()
+
+    # -- navigation hook -----------------------------------------------------
+
+    def on_navigate(self) -> Generator:
+        """Called by the page driver before each navigation.
+
+        Eagerly refreshes the Cache Sketch so in-page requests can use
+        it without paying the fetch latency one by one.
+        """
+        if self.config.refresh_on_navigation and self.consent.allows(
+            Purpose.ACCELERATION
+        ):
+            yield from self.sketch_client.ensure_fresh()
+        return None
+
+    # -- the fetch entry point ---------------------------------------------------
+
+    def fetch(self, request: Request) -> Generator:
+        """Resolve one request (generator sub-process)."""
+        if not self.consent.allows(Purpose.ACCELERATION):
+            self._count("pass_through")
+            return (yield from self._pass_through(request))
+        if self.config.is_user_personalized(request):
+            self._count("user_block")
+            return (yield from self._fetch_user_block(request))
+        if not self.config.rules.should_accelerate(request):
+            self._count("pass_through")
+            return (yield from self._pass_through(request))
+        self._count("accelerated")
+        return (yield from self._fetch_accelerated(request))
+
+    def fetch_assembled(self, request: Request, blocks) -> Generator:
+        """Fetch a skeleton page and stitch its dynamic blocks in.
+
+        ``blocks`` is a sequence of
+        :class:`~repro.speedkit.blocks.BlockSpec`. The skeleton travels
+        the accelerated path (cacheable per segment); each block is
+        fetched through :meth:`fetch` too, so user blocks automatically
+        take the direct first-party connection. Failed optional blocks
+        render empty; a failed required block fails the assembly with
+        the block's error response.
+        """
+        from repro.http.messages import Response
+        from repro.speedkit.blocks import DynamicBlockAssembler
+
+        skeleton = yield from self.fetch(request)
+        if skeleton.status != Status.OK:
+            return skeleton
+        env = self.transport.env
+        processes = {
+            spec: env.process(self.fetch(Request.get(spec.url)))
+            for spec in blocks
+        }
+        if processes:
+            yield env.all_of(list(processes.values()))
+        fetched = {}
+        for spec, process in processes.items():
+            response: Response = process.value
+            if response.status == Status.OK:
+                fetched[spec.name] = response
+            elif spec.optional:
+                fetched[spec.name] = None
+            else:
+                return response
+        self._count("assembled_pages")
+        return DynamicBlockAssembler().assemble(skeleton, fetched)
+
+    # -- the three paths ------------------------------------------------------------
+
+    def _pass_through(self, request: Request) -> Generator:
+        """Untouched fetch through the plain browser stack — exactly
+        the no-Speed-Kit behaviour (including the browser HTTP cache)."""
+        response = yield from self.fallback.fetch(request)
+        return response
+
+    def _fetch_user_block(self, request: Request) -> Generator:
+        """Per-user content over the first-party connection.
+
+        Credentials are attached from the vault here, inside the
+        device; the request bypasses every shared cache (the browser
+        cache still applies, but per-user responses are no-store).
+        """
+        outgoing = request.copy()
+        identity = self.vault.identity_for_first_party()
+        if identity is not None and "Cookie" not in outgoing.headers:
+            outgoing.headers["Cookie"] = f"session={identity}"
+        response = yield from self.fallback.fetch(outgoing)
+        return response
+
+    def _fetch_accelerated(self, request: Request) -> Generator:
+        scrubbed, report = self.scrubber.scrub(request)
+        if report.anything_removed:
+            self._count("scrubbed")
+        if self.config.is_segment_personalized(scrubbed):
+            segment = self.segments.resolve()
+            scrubbed = Request(
+                method=scrubbed.method,
+                url=scrubbed.url.with_param(SEGMENT_PARAM, segment),
+                headers=scrubbed.headers,
+                body=scrubbed.body,
+                client_id=scrubbed.client_id,
+            )
+
+        # The decision procedure requires a sketch younger than Δ;
+        # fetch one on demand if the navigation prefetch is missing.
+        if self.sketch_client.usable_sketch() is None:
+            yield from self.sketch_client.ensure_fresh()
+        sketch = self.sketch_client.usable_sketch()
+
+        key = scrubbed.url.cache_key()
+        cached = self.cache.serve_even_stale(scrubbed, self._now)
+        decision = decide(key, cached, sketch, self._now)
+
+        if decision is ReadDecision.SERVE_FROM_CACHE and sketch is None:
+            # The sketch service is unreachable: without a usable
+            # sketch the Δ guarantee lapses. Either serve knowingly
+            # degraded (offline mode) or fall back to revalidation.
+            if self.config.offline_mode:
+                self.cache._count("hit")
+                return self._serve_offline(cached)
+            decision = (
+                ReadDecision.REVALIDATE
+                if cached.etag is not None
+                else ReadDecision.FETCH
+            )
+
+        if decision is ReadDecision.SERVE_FROM_CACHE:
+            self._count("served_from_cache")
+            self.cache._count("hit")
+            return cached
+
+        self.cache._count("miss")
+        if decision is ReadDecision.REVALIDATE and cached is not None:
+            if self.config.stale_while_revalidate and self._swr_allowed(
+                scrubbed, cached
+            ):
+                self._count("swr_served")
+                self.transport.env.process(
+                    self._background_revalidate(scrubbed, cached)
+                )
+                return cached
+            self._count("revalidations")
+            response = yield from self._revalidate(scrubbed, cached)
+            return response
+
+        self._count("fetches")
+        response = yield from self.transport.fetch_via_cdn(
+            self.node, scrubbed, self.cdn
+        )
+        if response.status.is_server_error and cached is not None and (
+            self.config.offline_mode
+        ):
+            return self._serve_offline(cached)
+        return self.cache.admit(scrubbed, response, self._now)
+
+    def _serve_offline(self, cached: Response) -> Response:
+        """Answer from cache during an outage.
+
+        Offline serving deliberately trades the Δ bound for
+        availability; the response is marked so coherence checkers can
+        account for it separately.
+        """
+        self._count("offline_served")
+        response = cached.copy()
+        response.headers["X-SpeedKit-Offline"] = "1"
+        return response
+
+    def _swr_allowed(self, scrubbed: Request, cached: Response) -> bool:
+        """May a flagged copy be served stale-while-revalidate?
+
+        Only copies *verified current* (fetched or 304-revalidated)
+        within the staleness budget qualify: a copy verified at ``t_v``
+        can be at most ``now − t_v`` stale, so the budget is a hard,
+        client-enforceable staleness bound — unlike the sketch flag,
+        whose age the client cannot observe. TTL-expired copies never
+        qualify (SWR must not revive arbitrarily old content).
+        """
+        from repro.http.freshness import is_fresh_at
+
+        if not is_fresh_at(cached, self._now, shared=False):
+            return False
+        entry = self.cache.store.peek(scrubbed.url.cache_key())
+        if entry is None:
+            return False
+        verified_age = self._now - entry.stored_at
+        return verified_age <= self.config.swr_staleness_budget
+
+    def _revalidate(self, scrubbed: Request, cached: Response) -> Generator:
+        """Conditional refetch of a flagged/expired cached copy."""
+        conditional = conditional_request_for(scrubbed, cached)
+        response = yield from self.transport.fetch_via_cdn(
+            self.node, conditional, self.cdn
+        )
+        if response.status == Status.NOT_MODIFIED:
+            refreshed = self.cache.refresh(scrubbed, response, self._now)
+            if refreshed is not None:
+                return refreshed
+            response = yield from self.transport.fetch_via_cdn(
+                self.node, scrubbed, self.cdn
+            )
+        if response.status.is_server_error and self.config.offline_mode:
+            # Origin down: keep answering from the device (the paper's
+            # offline-resilience story).
+            return self._serve_offline(cached)
+        return self.cache.admit(scrubbed, response, self._now)
+
+    def _background_revalidate(
+        self, scrubbed: Request, cached: Response
+    ) -> Generator:
+        self._count("revalidations")
+        yield from self._revalidate(scrubbed, cached)

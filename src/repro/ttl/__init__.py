@@ -1,0 +1,14 @@
+"""TTL estimation (Quaestor-style).
+
+Expiration-based caching needs a freshness lifetime for every response.
+Fixed TTLs are either too short (wasted misses) or too long (more
+invalidations and larger Cache Sketch). The estimator tracks per-key
+write rates and derives a TTL such that the probability of a write
+arriving within the TTL stays below a configurable target — writes are
+then handled by the invalidation pipeline instead of spurious expiry.
+"""
+
+from repro.ttl.estimator import KeyWriteStats, TtlEstimator
+from repro.ttl.policy import AdaptiveTtlPolicy
+
+__all__ = ["AdaptiveTtlPolicy", "KeyWriteStats", "TtlEstimator"]

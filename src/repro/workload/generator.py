@@ -1,0 +1,167 @@
+"""The workload generator: sessions + write streams → trace."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.workload.catalog import Catalog
+from repro.workload.trace import (
+    CartAdd,
+    PageView,
+    ProductUpdate,
+    WorkloadTrace,
+)
+from repro.workload.users import UserPopulation
+
+
+@dataclass
+class WorkloadConfig:
+    """Traffic shape knobs."""
+
+    duration: float = 3600.0
+    #: Session arrivals per second across the whole population.
+    session_rate: float = 0.5
+    #: Mean page views per session (geometric).
+    mean_session_length: float = 5.0
+    #: Mean think time between page views (exponential), seconds.
+    think_time_mean: float = 15.0
+    #: Background product updates per second (Poisson).
+    write_rate: float = 0.05
+    #: Zipf exponent for which products get updated (hot items churn).
+    write_zipf_s: float = 0.5
+    #: Probability that a product page view is followed by a cart add.
+    cart_add_prob: float = 0.10
+    #: Navigation mix after the first page: probabilities of going to a
+    #: category page / product page / home. Must sum to 1.
+    nav_category: float = 0.35
+    nav_product: float = 0.55
+    nav_home: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.session_rate <= 0:
+            raise ValueError(
+                f"session_rate must be positive: {self.session_rate}"
+            )
+        nav_total = self.nav_category + self.nav_product + self.nav_home
+        if abs(nav_total - 1.0) > 1e-6:
+            raise ValueError(f"navigation mix sums to {nav_total}")
+
+
+class WorkloadGenerator:
+    """Generates replayable traces from a catalog and a population."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        users: UserPopulation,
+        config: Optional[WorkloadConfig] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.users = users
+        self.config = config or WorkloadConfig()
+
+    def generate(self, rng: random.Random) -> WorkloadTrace:
+        """Produce one complete trace."""
+        trace = WorkloadTrace(duration=self.config.duration)
+        trace.events.extend(self._session_events(rng))
+        trace.events.extend(self._write_events(rng))
+        trace.sort()
+        trace.validate()
+        return trace
+
+    # -- sessions -----------------------------------------------------------
+
+    def _session_events(self, rng: random.Random) -> List:
+        events: List = []
+        now = 0.0
+        config = self.config
+        while True:
+            now += rng.expovariate(config.session_rate)
+            if now >= config.duration:
+                break
+            events.extend(self._one_session(now, rng))
+        return events
+
+    def _one_session(self, start: float, rng: random.Random) -> List:
+        config = self.config
+        user = self.users.sample(rng)
+        events: List = []
+        # Geometric session length, at least one page view.
+        length = 1
+        while rng.random() < 1.0 - 1.0 / config.mean_session_length:
+            length += 1
+        now = start
+        # Sessions start at the home page (the common entry point).
+        page_kind, target = "home", ""
+        for _ in range(length):
+            if now >= config.duration:
+                break
+            events.append(
+                PageView(
+                    at=now,
+                    user_id=user.user_id,
+                    page_kind=page_kind,
+                    target=target,
+                )
+            )
+            if (
+                page_kind == "product"
+                and user.logged_in
+                and rng.random() < config.cart_add_prob
+            ):
+                cart_at = now + rng.expovariate(1.0 / 2.0)
+                if cart_at < config.duration:
+                    events.append(
+                        CartAdd(
+                            at=cart_at,
+                            user_id=user.user_id,
+                            product_id=target,
+                        )
+                    )
+            page_kind, target = self._next_page(page_kind, target, rng)
+            now += rng.expovariate(1.0 / config.think_time_mean)
+        return events
+
+    def _next_page(self, kind: str, target: str, rng: random.Random):
+        config = self.config
+        roll = rng.random()
+        if roll < config.nav_category:
+            return "category", self.catalog.sample_category(rng)
+        if roll < config.nav_category + config.nav_product:
+            return "product", self.catalog.sample_product(rng).product_id
+        return "home", ""
+
+    # -- background writes ------------------------------------------------------
+
+    def _write_events(self, rng: random.Random) -> List[ProductUpdate]:
+        events: List[ProductUpdate] = []
+        config = self.config
+        if config.write_rate <= 0:
+            return events
+        weights = [
+            1.0 / (rank**config.write_zipf_s)
+            for rank in range(1, len(self.catalog.products) + 1)
+        ]
+        now = 0.0
+        while True:
+            now += rng.expovariate(config.write_rate)
+            if now >= config.duration:
+                break
+            product = rng.choices(
+                self.catalog.products, weights=weights, k=1
+            )[0]
+            new_price = round(
+                max(1.0, product.price * rng.uniform(0.9, 1.1)), 2
+            )
+            events.append(
+                ProductUpdate(
+                    at=now,
+                    product_id=product.product_id,
+                    changes=(("price", new_price),),
+                )
+            )
+        return events

@@ -1,0 +1,135 @@
+"""Trace (de)serialization: save a workload, replay it anywhere.
+
+The JSON format is line-oriented (one event per line after a header),
+so multi-hour traces stream without loading everything twice. Saving
+the trace that produced a result is what makes experiments repeatable
+across machines and code versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.workload.trace import (
+    CartAdd,
+    PageView,
+    ProductUpdate,
+    TraceEvent,
+    WorkloadTrace,
+)
+
+FORMAT_VERSION = 1
+
+_KINDS = {
+    "page_view": PageView,
+    "product_update": ProductUpdate,
+    "cart_add": CartAdd,
+}
+
+
+def _event_to_record(event: TraceEvent) -> dict:
+    if isinstance(event, PageView):
+        return {
+            "kind": "page_view",
+            "at": event.at,
+            "user_id": event.user_id,
+            "page_kind": event.page_kind,
+            "target": event.target,
+        }
+    if isinstance(event, ProductUpdate):
+        return {
+            "kind": "product_update",
+            "at": event.at,
+            "product_id": event.product_id,
+            "changes": list(list(pair) for pair in event.changes),
+        }
+    if isinstance(event, CartAdd):
+        return {
+            "kind": "cart_add",
+            "at": event.at,
+            "user_id": event.user_id,
+            "product_id": event.product_id,
+        }
+    raise TypeError(f"unknown event type {type(event).__name__}")
+
+
+def _record_to_event(record: dict) -> TraceEvent:
+    kind = record.get("kind")
+    if kind == "page_view":
+        return PageView(
+            at=record["at"],
+            user_id=record["user_id"],
+            page_kind=record["page_kind"],
+            target=record["target"],
+        )
+    if kind == "product_update":
+        return ProductUpdate(
+            at=record["at"],
+            product_id=record["product_id"],
+            changes=tuple(
+                (field, value) for field, value in record["changes"]
+            ),
+        )
+    if kind == "cart_add":
+        return CartAdd(
+            at=record["at"],
+            user_id=record["user_id"],
+            product_id=record["product_id"],
+        )
+    raise ValueError(f"unknown event kind {kind!r}")
+
+
+def dump_trace(trace: WorkloadTrace, destination: Union[str, Path, IO]) -> None:
+    """Write a trace as line-delimited JSON."""
+
+    def write(handle: IO) -> None:
+        header = {
+            "format": "repro-trace",
+            "version": FORMAT_VERSION,
+            "duration": trace.duration,
+            "events": len(trace),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for event in trace.events:
+            handle.write(json.dumps(_event_to_record(event)) + "\n")
+
+    if hasattr(destination, "write"):
+        write(destination)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            write(handle)
+
+
+def load_trace(source: Union[str, Path, IO]) -> WorkloadTrace:
+    """Read a trace written by :func:`dump_trace` (validates it)."""
+
+    def read(handle: IO) -> WorkloadTrace:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError("empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-trace":
+            raise ValueError(f"not a repro trace: header {header!r}")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        trace = WorkloadTrace(duration=float(header["duration"]))
+        for line in handle:
+            if line.strip():
+                trace.events.append(_record_to_event(json.loads(line)))
+        expected = header.get("events")
+        if expected is not None and expected != len(trace):
+            raise ValueError(
+                f"truncated trace: header says {expected} events, "
+                f"found {len(trace)}"
+            )
+        trace.validate()
+        return trace
+
+    if hasattr(source, "readline"):
+        return read(source)
+    with open(source, "r", encoding="utf-8") as handle:
+        return read(handle)

@@ -1,0 +1,148 @@
+"""Builds the e-commerce :class:`~repro.origin.site.Site` for a catalog."""
+
+from __future__ import annotations
+
+from repro.origin.query import Eq, Query
+from repro.origin.site import (
+    PersonalizationKind,
+    ResourceKind,
+    ResourceSpec,
+    Site,
+)
+from repro.workload.catalog import Catalog
+from repro.workload.pages import SHARED_ASSETS
+
+#: Payload sizes (bytes) for the different content types; roughly the
+#: medians of the HTTP Archive for e-commerce pages.
+SIZES = {
+    "html": 30_000,
+    "app.js": 150_000,
+    "style.css": 50_000,
+    "logo.png": 20_000,
+    "image": 80_000,
+    "api": 5_000,
+    "block": 2_000,
+}
+
+
+def build_ecommerce_site(catalog: Catalog) -> Site:
+    """A complete shop site backed by the generated catalog."""
+    site = Site()
+
+    site.add_route(
+        ResourceSpec(
+            name="product-image",
+            pattern="/static/img/{name}",
+            kind=ResourceKind.STATIC,
+            doc_keys=lambda p: [f"assets/img-{p['name']}"],
+            size_bytes=SIZES["image"],
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="asset",
+            pattern="/static/{name}",
+            kind=ResourceKind.STATIC,
+            doc_keys=lambda p: [f"assets/{p['name']}"],
+            size_bytes=SIZES["app.js"],
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="home",
+            pattern="/",
+            kind=ResourceKind.PAGE,
+            personalization=PersonalizationKind.SEGMENT,
+            doc_keys=lambda p: ["content/home"],
+            size_bytes=SIZES["html"],
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="product-page",
+            pattern="/product/{id}",
+            kind=ResourceKind.PAGE,
+            personalization=PersonalizationKind.SEGMENT,
+            doc_keys=lambda p: [f"products/{p['id']}"],
+            size_bytes=SIZES["html"],
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="category-page",
+            pattern="/category/{name}",
+            kind=ResourceKind.QUERY,
+            personalization=PersonalizationKind.SEGMENT,
+            query=lambda p: Query(
+                "products", Eq("category", p["name"]), limit=24
+            ),
+            size_bytes=SIZES["html"],
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="product-api",
+            pattern="/api/products/{id}",
+            kind=ResourceKind.API,
+            doc_keys=lambda p: [f"products/{p['id']}"],
+            size_bytes=SIZES["api"],
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="recommendations",
+            pattern="/api/recommendations",
+            kind=ResourceKind.API,
+            personalization=PersonalizationKind.SEGMENT,
+            doc_keys=lambda p: ["content/recommendations"],
+            size_bytes=SIZES["api"],
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="cart-block",
+            pattern="/api/blocks/cart",
+            kind=ResourceKind.FRAGMENT,
+            personalization=PersonalizationKind.USER,
+            size_bytes=SIZES["block"],
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="checkout",
+            pattern="/checkout",
+            kind=ResourceKind.PAGE,
+            personalization=PersonalizationKind.USER,
+            size_bytes=SIZES["html"],
+        )
+    )
+
+    _populate(site, catalog)
+    return site
+
+
+def _populate(site: Site, catalog: Catalog) -> None:
+    store = site.store
+    for product in catalog.products:
+        store.put(
+            "products",
+            product.product_id,
+            {
+                "category": product.category,
+                "price": product.price,
+                "tags": list(product.tags),
+            },
+        )
+        store.put(
+            "assets",
+            f"img-{product.product_id}.jpg",
+            {"kind": "image", "product": product.product_id},
+        )
+    for name in SHARED_ASSETS:
+        store.put("assets", name, {"kind": "asset", "name": name})
+    store.put("content", "home", {"hero": "summer-sale"})
+    store.put(
+        "content",
+        "recommendations",
+        {"items": [p.product_id for p in catalog.products[:10]]},
+    )

@@ -1,0 +1,97 @@
+"""Workload traces: the replayable event format.
+
+A trace is a time-ordered list of events. Generating the trace once and
+replaying it under every configuration guarantees that comparisons
+(classic CDN vs. Speed Kit, Δ sweeps, segment-count sweeps) see
+*identical* traffic — the same users visiting the same pages at the
+same instants, with the same background writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: everything has a timestamp."""
+
+    at: float
+
+
+@dataclass(frozen=True)
+class PageView(TraceEvent):
+    """A user navigates to a page."""
+
+    user_id: str = ""
+    page_kind: str = ""  # "home" | "category" | "product"
+    target: str = ""  # category name or product id ("" for home)
+
+
+@dataclass(frozen=True)
+class ProductUpdate(TraceEvent):
+    """A background write: the shop updates a product."""
+
+    product_id: str = ""
+    changes: tuple = ()  # ((field, value), ...) — hashable for frozen
+
+    @property
+    def changes_dict(self) -> Dict[str, object]:
+        return dict(self.changes)
+
+
+@dataclass(frozen=True)
+class CartAdd(TraceEvent):
+    """A user-originated write: add a product to the cart."""
+
+    user_id: str = ""
+    product_id: str = ""
+
+
+@dataclass
+class WorkloadTrace:
+    """A complete, time-ordered workload."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    duration: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def sort(self) -> None:
+        self.events.sort(key=lambda event: event.at)
+
+    def page_views(self) -> List[PageView]:
+        return [e for e in self.events if isinstance(e, PageView)]
+
+    def product_updates(self) -> List[ProductUpdate]:
+        return [e for e in self.events if isinstance(e, ProductUpdate)]
+
+    def cart_adds(self) -> List[CartAdd]:
+        return [e for e in self.events if isinstance(e, CartAdd)]
+
+    def users_seen(self) -> List[str]:
+        seen = {
+            event.user_id
+            for event in self.events
+            if isinstance(event, (PageView, CartAdd))
+        }
+        return sorted(seen)
+
+    def validate(self) -> None:
+        """Check trace invariants (ordering, bounds)."""
+        last = 0.0
+        for event in self.events:
+            if event.at < last:
+                raise ValueError(
+                    f"trace not time-ordered at t={event.at} (prev {last})"
+                )
+            last = event.at
+        if self.events and self.duration < self.events[-1].at:
+            raise ValueError(
+                f"duration {self.duration} < last event at {self.events[-1].at}"
+            )

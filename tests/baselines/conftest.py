@@ -1,0 +1,10 @@
+"""Reuse the browser test stack fixtures for baseline tests."""
+
+from tests.browser.conftest import (  # noqa: F401 - fixture re-export
+    cdn,
+    env,
+    server,
+    site,
+    topology,
+    transport,
+)

@@ -1,0 +1,87 @@
+"""Tests for baseline fetchers and the cookie-jar wrapper."""
+
+import pytest
+
+from repro.baselines import CookieJarFetcher, NoCacheClient
+from repro.http import Headers, Request, Status, URL
+
+from tests.browser.conftest import CLIENT_ORIGIN, run_fetch
+
+
+def get(path, headers=None):
+    return Request.get(URL.parse(path), headers=Headers(headers or {}))
+
+
+class TestNoCacheClient:
+    def test_every_fetch_pays_full_latency(self, env, transport):
+        client = NoCacheClient("client", transport)
+        run_fetch(env, client.fetch(get("/page/1")))
+        start = env.now
+        response = run_fetch(env, client.fetch(get("/page/1")))
+        assert response.served_by == "origin"
+        assert env.now - start == pytest.approx(2 * CLIENT_ORIGIN)
+
+
+class TestCookieJarFetcher:
+    def test_attaches_cookie_for_logged_in_user(self, env, transport):
+        captured = []
+        original = transport.origin_server.handle
+
+        def spy(request, now):
+            captured.append(request.headers.get("Cookie"))
+            return original(request, now)
+
+        transport.origin_server.handle = spy
+        client = CookieJarFetcher(
+            NoCacheClient("client", transport), user_id="u42"
+        )
+        run_fetch(env, client.fetch(get("/page/1")))
+        assert captured == ["session=u42"]
+
+    def test_anonymous_user_sends_nothing(self, env, transport):
+        captured = []
+        original = transport.origin_server.handle
+
+        def spy(request, now):
+            captured.append(request.headers.get("Cookie"))
+            return original(request, now)
+
+        transport.origin_server.handle = spy
+        client = CookieJarFetcher(
+            NoCacheClient("client", transport), user_id=None
+        )
+        run_fetch(env, client.fetch(get("/page/1")))
+        assert captured == [None]
+
+    def test_existing_cookie_not_overwritten(self, env, transport):
+        captured = []
+        original = transport.origin_server.handle
+
+        def spy(request, now):
+            captured.append(request.headers.get("Cookie"))
+            return original(request, now)
+
+        transport.origin_server.handle = spy
+        client = CookieJarFetcher(
+            NoCacheClient("client", transport), user_id="u42"
+        )
+        run_fetch(
+            env, client.fetch(get("/page/1", {"Cookie": "session=other"}))
+        )
+        assert captured == ["session=other"]
+
+    def test_original_request_not_mutated(self, env, transport):
+        client = CookieJarFetcher(
+            NoCacheClient("client", transport), user_id="u42"
+        )
+        request = get("/page/1")
+        run_fetch(env, client.fetch(request))
+        assert "Cookie" not in request.headers
+
+    def test_attribute_delegation(self, transport):
+        inner = NoCacheClient("client", transport)
+        wrapped = CookieJarFetcher(inner, user_id="u1")
+        assert wrapped.node == "client"
+        assert wrapped.transport is transport
+        with pytest.raises(AttributeError):
+            wrapped.nonexistent_attribute

@@ -1,0 +1,115 @@
+"""Tests for the transport layer (timing + cache interaction)."""
+
+import pytest
+
+from repro.http import Request, Status, URL
+
+from tests.browser.conftest import (
+    CLIENT_EDGE,
+    CLIENT_ORIGIN,
+    EDGE_ORIGIN,
+    run_fetch,
+)
+
+
+def get(path):
+    return Request.get(URL.parse(path))
+
+
+class TestDirect:
+    def test_round_trip_time(self, env, transport):
+        response = run_fetch(
+            env, transport.fetch_direct("client", get("/page/1"))
+        )
+        assert response.status == Status.OK
+        assert env.now == pytest.approx(2 * CLIENT_ORIGIN)
+
+    def test_origin_sees_arrival_time(self, env, transport, server):
+        run_fetch(env, transport.fetch_direct("client", get("/page/1")))
+        # The page was rendered when the request arrived (one one-way).
+        key = server.version_key_for(URL.parse("/page/1"))
+        assert server.versions.version_at(key, CLIENT_ORIGIN) == 1
+
+
+class TestViaCdn:
+    def test_miss_traverses_origin(self, env, transport, cdn):
+        response = run_fetch(
+            env,
+            transport.fetch_via_cdn("client", get("/page/1"), cdn, "edge"),
+        )
+        assert response.status == Status.OK
+        expected = 2 * CLIENT_EDGE + 2 * EDGE_ORIGIN
+        assert env.now == pytest.approx(expected)
+
+    def test_hit_skips_origin(self, env, transport, cdn):
+        run_fetch(
+            env,
+            transport.fetch_via_cdn("client", get("/page/1"), cdn, "edge"),
+        )
+        start = env.now
+        response = run_fetch(
+            env,
+            transport.fetch_via_cdn("client", get("/page/1"), cdn, "edge"),
+        )
+        assert response.served_by == "edge"
+        assert env.now - start == pytest.approx(2 * CLIENT_EDGE)
+
+    def test_hit_returns_same_version(self, env, transport, cdn, server):
+        first = run_fetch(
+            env,
+            transport.fetch_via_cdn("client", get("/page/1"), cdn, "edge"),
+        )
+        server.update("pages", "1", {"title": "new"}, at=env.now)
+        # Without a purge the CDN keeps serving the old version (that is
+        # the staleness problem the Cache Sketch exists to fix).
+        second = run_fetch(
+            env,
+            transport.fetch_via_cdn("client", get("/page/1"), cdn, "edge"),
+        )
+        assert second.served_by == "edge"
+        assert second.version == first.version
+
+    def test_expired_entry_revalidates_with_304(self, env, transport, cdn, server):
+        run_fetch(
+            env,
+            transport.fetch_via_cdn("client", get("/page/1"), cdn, "edge"),
+        )
+        # StaticTtlPolicy gives pages max-age=300; jump past it.
+        env.run(until=400.0)
+        start = env.now
+        response = run_fetch(
+            env,
+            transport.fetch_via_cdn("client", get("/page/1"), cdn, "edge"),
+        )
+        # Revalidation costs a full edge->origin round trip.
+        assert env.now - start == pytest.approx(
+            2 * CLIENT_EDGE + 2 * EDGE_ORIGIN
+        )
+        assert response.status == Status.OK
+        assert response.version == 1
+        revalidated = transport.origin_server  # origin answered with 304
+        assert cdn.pop("edge").metrics.counter("edge.edge.revalidated").value == 1
+
+    def test_nearest_edge_is_used_when_unspecified(self, env, transport, cdn):
+        response = run_fetch(
+            env, transport.fetch_via_cdn("client", get("/page/1"), cdn)
+        )
+        assert response.status == Status.OK
+        assert len(cdn.pop("edge").store) == 1
+
+    def test_content_length_drives_transfer_time(
+        self, env, topology, transport, cdn
+    ):
+        from repro.simnet import ConstantDelay, Link
+
+        # Rebuild the client-edge link with finite bandwidth.
+        topology.connect(
+            "client", "edge", Link(ConstantDelay(CLIENT_EDGE), bandwidth=100_000)
+        )
+        run_fetch(
+            env,
+            transport.fetch_via_cdn("client", get("/page/1"), cdn, "edge"),
+        )
+        # 20 kB at 100 kB/s adds 0.2 s on the client-edge leg.
+        expected = 2 * CLIENT_EDGE + 2 * EDGE_ORIGIN + 0.2
+        assert env.now == pytest.approx(expected)

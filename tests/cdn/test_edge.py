@@ -1,0 +1,164 @@
+"""Tests for edge PoP semantics."""
+
+import pytest
+
+from repro.cdn import CacheStore, EdgeCache
+from repro.http import (
+    Headers,
+    Request,
+    Response,
+    Status,
+    URL,
+    make_not_modified,
+)
+
+
+def edge(name="pop-1"):
+    return EdgeCache(name, CacheStore(shared=True))
+
+
+def ok_response(url="/p", ttl=60, version=1, private=False):
+    directives = f"max-age={ttl}"
+    if private:
+        directives = f"private, {directives}"
+    else:
+        directives = f"public, {directives}"
+    return Response(
+        status=Status.OK,
+        headers=Headers(
+            {
+                "Cache-Control": directives,
+                "ETag": f'"v{version}"',
+                "Content-Length": "1000",
+            }
+        ),
+        body=f"body-v{version}",
+        url=URL.parse(url),
+        version=version,
+        generated_at=0.0,
+    )
+
+
+def get(url="/p"):
+    return Request.get(URL.parse(url))
+
+
+class TestServe:
+    def test_miss_then_hit(self):
+        pop = edge()
+        assert pop.serve(get(), now=0.0) is None
+        pop.admit(get(), ok_response(), now=0.0)
+        served = pop.serve(get(), now=1.0)
+        assert served is not None
+        assert served.served_by == "pop-1"
+        assert served.version == 1
+
+    def test_served_copy_is_isolated(self):
+        pop = edge()
+        pop.admit(get(), ok_response(), now=0.0)
+        served = pop.serve(get(), now=1.0)
+        served.headers["X-Mutated"] = "yes"
+        again = pop.serve(get(), now=2.0)
+        assert "X-Mutated" not in again.headers
+
+    def test_expired_entry_is_a_miss(self):
+        pop = edge()
+        pop.admit(get(), ok_response(ttl=10), now=0.0)
+        assert pop.serve(get(), now=20.0) is None
+
+    def test_hit_ratio(self):
+        pop = edge()
+        pop.serve(get(), now=0.0)  # miss
+        pop.admit(get(), ok_response(), now=0.0)
+        pop.serve(get(), now=1.0)  # hit
+        pop.serve(get(), now=2.0)  # hit
+        assert pop.hit_ratio() == pytest.approx(2 / 3)
+
+    def test_requires_shared_store(self):
+        with pytest.raises(ValueError):
+            EdgeCache("bad", CacheStore(shared=False))
+
+
+class TestAdmission:
+    def test_private_response_not_stored(self):
+        pop = edge()
+        pop.admit(get(), ok_response(private=True), now=0.0)
+        assert pop.serve(get(), now=0.5) is None
+
+    def test_error_response_not_stored(self):
+        pop = edge()
+        error = ok_response()
+        error.status = Status.INTERNAL_ERROR
+        pop.admit(get(), error, now=0.0)
+        assert pop.serve(get(), now=0.5) is None
+
+    def test_admit_returns_forwardable_copy(self):
+        pop = edge()
+        original = ok_response()
+        forwarded = pop.admit(get(), original, now=0.0)
+        forwarded.headers["X-Hop"] = "edge"
+        assert "X-Hop" not in pop.serve(get(), now=1.0).headers
+
+
+class TestRevalidation:
+    def test_revalidation_base_for_stale_entry(self):
+        pop = edge()
+        pop.admit(get(), ok_response(ttl=10), now=0.0)
+        base = pop.revalidation_base(get(), now=20.0)
+        assert base is not None
+        assert base.etag == '"v1"'
+
+    def test_no_base_without_entry(self):
+        assert edge().revalidation_base(get(), now=0.0) is None
+
+    def test_no_base_without_etag(self):
+        pop = edge()
+        resp = ok_response()
+        del resp.headers["ETag"]
+        pop.admit(get(), resp, now=0.0)
+        assert pop.revalidation_base(get(), now=100.0) is None
+
+    def test_refresh_restamps_entry(self):
+        pop = edge()
+        pop.admit(get(), ok_response(ttl=10), now=0.0)
+        assert pop.serve(get(), now=15.0) is None  # stale now
+        stale = pop.revalidation_base(get(), now=15.0)
+        nm = make_not_modified(stale, at=15.0)
+        refreshed = pop.refresh(get(), nm, now=15.0)
+        assert refreshed.status == Status.OK
+        assert refreshed.served_by == "pop-1"
+        # Fresh again for another TTL window.
+        assert pop.serve(get(), now=20.0) is not None
+        assert pop.serve(get(), now=30.0) is None
+
+    def test_refresh_rejects_non_304(self):
+        pop = edge()
+        with pytest.raises(ValueError):
+            pop.refresh(get(), ok_response(), now=0.0)
+
+    def test_refresh_when_entry_vanished_returns_none(self):
+        pop = edge()
+        pop.admit(get(), ok_response(), now=0.0)
+        stale = pop.revalidation_base(get(), now=0.0)
+        nm = make_not_modified(stale, at=5.0)
+        pop.purge(get().url.cache_key())
+        assert pop.refresh(get(), nm, now=5.0) is None
+
+
+class TestPurge:
+    def test_purge_removes_entry(self):
+        pop = edge()
+        pop.admit(get(), ok_response(), now=0.0)
+        assert pop.purge(get().url.cache_key())
+        assert pop.serve(get(), now=0.5) is None
+
+    def test_purge_missing_is_false(self):
+        assert not edge().purge("ghost")
+
+    def test_purge_prefix(self):
+        pop = edge()
+        pop.admit(get("/a/1"), ok_response(url="/a/1"), now=0.0)
+        pop.admit(get("/a/2"), ok_response(url="/a/2"), now=0.0)
+        pop.admit(get("/b/1"), ok_response(url="/b/1"), now=0.0)
+        assert pop.purge_prefix("shop.example/a/") == 2
+        assert pop.serve(get("/b/1"), now=0.5) is not None

@@ -1,0 +1,126 @@
+"""Tests for client-side sketch management."""
+
+import random
+
+import pytest
+
+from repro.coherence import SketchClient
+from repro.sim import Environment
+from repro.simnet.topology import two_tier
+from repro.sketch import ServerCacheSketch
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def server_sketch():
+    sketch = ServerCacheSketch(capacity=100)
+    sketch.report_read("k", expires_at=1000.0, now=0.0)
+    return sketch
+
+
+def make_client(env, server_sketch, refresh_interval=60.0):
+    return SketchClient(
+        env,
+        server_sketch,
+        two_tier(),
+        client_node="client",
+        rng=random.Random(0),
+        refresh_interval=refresh_interval,
+    )
+
+
+def run(env, generator):
+    process = env.process(generator)
+    env.run()
+    return process.value
+
+
+class TestFetching:
+    def test_initial_state(self, env, server_sketch):
+        client = make_client(env, server_sketch)
+        assert client.current is None
+        assert client.age() is None
+        assert not client.is_usable()
+        assert client.usable_sketch() is None
+
+    def test_fetch_once_costs_a_round_trip(self, env, server_sketch):
+        client = make_client(env, server_sketch)
+        run(env, client.fetch_once())
+        # two_tier client-origin one-way is 0.05.
+        assert env.now == pytest.approx(0.10)
+        assert client.stats.fetches == 1
+        assert client.stats.bytes_transferred > 0
+
+    def test_fetched_sketch_reflects_server_state(self, env, server_sketch):
+        client = make_client(env, server_sketch)
+        server_sketch.report_write("k", now=0.0)
+        run(env, client.fetch_once())
+        assert client.current.contains("k")
+
+    def test_snapshot_is_taken_at_server_arrival(self, env, server_sketch):
+        client = make_client(env, server_sketch)
+        run(env, client.fetch_once())
+        # Write after the fetch is not visible.
+        server_sketch.report_write("k", now=env.now)
+        assert not client.current.contains("k")
+
+    def test_ensure_fresh_skips_recent_sketch(self, env, server_sketch):
+        client = make_client(env, server_sketch)
+        run(env, client.fetch_once())
+        run(env, client.ensure_fresh())
+        assert client.stats.fetches == 1
+
+    def test_ensure_fresh_refetches_old_sketch(self, env, server_sketch):
+        client = make_client(env, server_sketch, refresh_interval=10.0)
+        run(env, client.fetch_once())
+        env.run(until=env.now + 50.0)
+        run(env, client.ensure_fresh())
+        assert client.stats.fetches == 2
+
+    def test_usability_window_is_refresh_interval(self, env, server_sketch):
+        client = make_client(env, server_sketch, refresh_interval=10.0)
+        run(env, client.fetch_once())
+        fetched_at = client.current.generated_at
+        assert client.is_usable(now=fetched_at + 9.0)
+        assert not client.is_usable(now=fetched_at + 10.5)
+
+    def test_refresh_interval_validation(self, env, server_sketch):
+        with pytest.raises(ValueError):
+            make_client(env, server_sketch, refresh_interval=0.0)
+
+
+class TestPeriodicRefresh:
+    def test_background_loop_fetches_every_interval(self, env, server_sketch):
+        client = make_client(env, server_sketch, refresh_interval=10.0)
+        client.start_periodic_refresh()
+        env.run(until=35.0)
+        # Fetches at ~0, ~10, ~20, ~30 (plus round-trip offsets).
+        assert client.stats.fetches == 4
+
+    def test_start_is_idempotent(self, env, server_sketch):
+        client = make_client(env, server_sketch, refresh_interval=10.0)
+        client.start_periodic_refresh()
+        client.start_periodic_refresh()
+        env.run(until=5.0)
+        assert client.stats.fetches == 1
+
+    def test_stop_halts_fetching(self, env, server_sketch):
+        client = make_client(env, server_sketch, refresh_interval=10.0)
+        client.start_periodic_refresh()
+        env.run(until=15.0)
+        client.stop_periodic_refresh()
+        fetches = client.stats.fetches
+        env.run(until=100.0)
+        assert client.stats.fetches == fetches
+
+    def test_sketch_stays_usable_under_periodic_refresh(
+        self, env, server_sketch
+    ):
+        client = make_client(env, server_sketch, refresh_interval=10.0)
+        client.start_periodic_refresh()
+        env.run(until=95.0)
+        assert client.is_usable()

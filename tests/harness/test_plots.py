@@ -1,0 +1,81 @@
+"""Tests for the text plotting helpers."""
+
+import pytest
+
+from repro.harness import cdf_table, sparkline, text_histogram
+
+
+class TestTextHistogram:
+    def test_empty(self):
+        assert "(no data)" in text_histogram([])
+        assert text_histogram([], title="T").startswith("T")
+
+    def test_counts_sum_to_input(self):
+        values = [1.0, 1.1, 1.2, 5.0, 5.1, 9.9]
+        text = text_histogram(values, bins=3)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == len(values)
+
+    def test_bar_lengths_proportional(self):
+        text = text_histogram([1.0] * 10 + [9.0], bins=2, width=20)
+        lines = text.splitlines()
+        big = lines[0].count("#")
+        small = lines[-1].count("#")
+        assert big > small >= 1
+
+    def test_constant_values_do_not_crash(self):
+        text = text_histogram([5.0, 5.0, 5.0], bins=4)
+        assert "3" in text
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            text_histogram([1.0], bins=0)
+
+    def test_title_and_unit(self):
+        text = text_histogram([1.0, 2.0], title="PLT", unit="ms")
+        assert text.startswith("PLT")
+        assert "ms" in text
+
+
+class TestCdfTable:
+    def test_percentiles_scale_and_label(self):
+        rows = cdf_table(
+            {"fast": [0.1, 0.2, 0.3], "slow": [1.0, 2.0, 3.0]},
+            percentiles=(50,),
+            scale=1000.0,
+            unit="ms",
+        )
+        by_name = {row["series"]: row for row in rows}
+        assert by_name["fast"]["p50_ms"] == 200.0
+        assert by_name["slow"]["p50_ms"] == 2000.0
+
+    def test_empty_series_skipped(self):
+        rows = cdf_table({"empty": [], "full": [1.0]})
+        assert [row["series"] for row in rows] == ["full"]
+
+    def test_single_value_series(self):
+        rows = cdf_table({"one": [7.0]}, percentiles=(1, 99))
+        assert rows[0]["p1"] == 7.0
+        assert rows[0]["p99"] == 7.0
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_capped_at_width(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_short_input_kept(self):
+        assert len(sparkline([1, 2, 3], width=50)) == 3
+
+    def test_monotone_input_monotone_marks(self):
+        marks = " .:-=+*#%@"
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        levels = [marks.index(ch) for ch in line]
+        assert levels == sorted(levels)
+
+    def test_constant_input(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1

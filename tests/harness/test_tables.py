@@ -1,0 +1,42 @@
+"""Tests for text table rendering."""
+
+from repro.harness import format_table
+
+
+def test_empty_rows():
+    assert "(no rows)" in format_table([])
+    assert format_table([], title="T").startswith("T")
+
+
+def test_basic_rendering():
+    rows = [
+        {"name": "a", "value": 1.5},
+        {"name": "longer", "value": 22},
+    ]
+    text = format_table(rows, title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert lines[2].startswith("-")
+    assert "longer" in text
+
+
+def test_numbers_right_aligned():
+    rows = [{"n": 1}, {"n": 1000}]
+    text = format_table(rows)
+    data_lines = text.splitlines()[2:]
+    assert data_lines[0].endswith("1")
+    assert data_lines[1].endswith("1000")
+
+
+def test_missing_values_dash():
+    rows = [{"a": 1, "b": 2}, {"a": 3}]
+    text = format_table(rows)
+    assert "-" in text.splitlines()[-1]
+
+
+def test_explicit_column_order():
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b", "a"])
+    header = text.splitlines()[0]
+    assert header.index("b") < header.index("a")

@@ -1,0 +1,88 @@
+"""Tests for the case-insensitive header map."""
+
+from repro.http import Headers
+
+
+def test_lookup_is_case_insensitive():
+    h = Headers({"Cache-Control": "max-age=60"})
+    assert h["cache-control"] == "max-age=60"
+    assert h["CACHE-CONTROL"] == "max-age=60"
+
+
+def test_contains_is_case_insensitive():
+    h = Headers({"ETag": "abc"})
+    assert "etag" in h
+    assert "Etag" in h
+    assert "Missing" not in h
+
+
+def test_contains_non_string_is_false():
+    h = Headers({"ETag": "abc"})
+    assert 42 not in h
+
+
+def test_set_overwrites_regardless_of_case():
+    h = Headers()
+    h["X-Foo"] = "1"
+    h["x-foo"] = "2"
+    assert len(h) == 1
+    assert h["X-FOO"] == "2"
+
+
+def test_first_spelling_is_preserved_for_display():
+    h = Headers()
+    h["X-Custom-Name"] = "1"
+    h["x-custom-name"] = "2"
+    assert list(h) == ["X-Custom-Name"]
+
+
+def test_get_with_default():
+    h = Headers()
+    assert h.get("missing") is None
+    assert h.get("missing", "fallback") == "fallback"
+
+
+def test_pop_removes_and_returns():
+    h = Headers({"A": "1"})
+    assert h.pop("a") == "1"
+    assert "A" not in h
+    assert h.pop("a", "gone") == "gone"
+
+
+def test_delete_is_case_insensitive():
+    h = Headers({"Set-Cookie": "session=1"})
+    del h["set-cookie"]
+    assert len(h) == 0
+
+
+def test_values_are_coerced_to_str():
+    h = Headers()
+    h["Content-Length"] = 123
+    assert h["content-length"] == "123"
+
+
+def test_copy_is_independent():
+    h = Headers({"A": "1"})
+    clone = h.copy()
+    clone["A"] = "2"
+    assert h["A"] == "1"
+
+
+def test_equality_ignores_case_and_accepts_dicts():
+    assert Headers({"A": "1"}) == Headers({"a": "1"})
+    assert Headers({"A": "1"}) == {"a": "1"}
+    assert Headers({"A": "1"}) != Headers({"A": "2"})
+
+
+def test_update_merges():
+    h = Headers({"A": "1"})
+    h.update({"B": "2", "a": "3"})
+    assert h["A"] == "3"
+    assert h["B"] == "2"
+
+
+def test_setdefault_keeps_existing():
+    h = Headers({"A": "1"})
+    assert h.setdefault("a", "2") == "1"
+    assert h.setdefault("B", "2") == "2"
+    assert h["B"] == "2"

@@ -1,0 +1,115 @@
+"""Tests for request/response messages and validators."""
+
+from repro.http import (
+    Headers,
+    Method,
+    Request,
+    Response,
+    Status,
+    URL,
+    make_not_modified,
+    revalidates,
+)
+
+
+def make_response(etag="v1", cache_control="max-age=60", version=1):
+    headers = Headers({"ETag": etag, "Cache-Control": cache_control})
+    return Response(
+        status=Status.OK,
+        headers=headers,
+        body="<html>",
+        url=URL.of("/p"),
+        version=version,
+        generated_at=10.0,
+    )
+
+
+class TestRequest:
+    def test_get_factory(self):
+        req = Request.get(URL.of("/p"))
+        assert req.method is Method.GET
+        assert req.method.is_safe
+
+    def test_unsafe_methods(self):
+        assert not Method.POST.is_safe
+        assert not Method.PUT.is_safe
+        assert not Method.DELETE.is_safe
+
+    def test_with_header_does_not_mutate_original(self):
+        req = Request.get(URL.of("/p"))
+        conditional = req.with_header("If-None-Match", "v1")
+        assert conditional.if_none_match == "v1"
+        assert req.if_none_match is None
+
+    def test_copy_has_independent_headers(self):
+        req = Request.get(URL.of("/p"), headers=Headers({"A": "1"}))
+        clone = req.copy()
+        clone.headers["A"] = "2"
+        assert req.headers["A"] == "1"
+
+
+class TestResponse:
+    def test_properties(self):
+        resp = make_response()
+        assert resp.ok
+        assert resp.etag == "v1"
+        assert resp.cache_control.max_age == 60.0
+
+    def test_copy_has_independent_headers(self):
+        resp = make_response()
+        clone = resp.copy()
+        clone.headers["Age"] = "5"
+        assert "Age" not in resp.headers
+
+    def test_not_ok_statuses(self):
+        resp = Response(status=Status.NOT_FOUND)
+        assert not resp.ok
+
+
+class TestRevalidation:
+    def test_matching_etag_revalidates(self):
+        stored = make_response(etag="v1")
+        req = Request.get(URL.of("/p")).with_header("If-None-Match", "v1")
+        assert revalidates(req, stored)
+
+    def test_mismatched_etag_does_not(self):
+        stored = make_response(etag="v2")
+        req = Request.get(URL.of("/p")).with_header("If-None-Match", "v1")
+        assert not revalidates(req, stored)
+
+    def test_no_validator_does_not(self):
+        stored = make_response(etag="v1")
+        assert not revalidates(Request.get(URL.of("/p")), stored)
+
+    def test_etag_list_matches_any(self):
+        stored = make_response(etag="v2")
+        req = Request.get(URL.of("/p")).with_header("If-None-Match", "v1, v2")
+        assert revalidates(req, stored)
+
+    def test_star_matches_everything(self):
+        stored = make_response(etag="anything")
+        req = Request.get(URL.of("/p")).with_header("If-None-Match", "*")
+        assert revalidates(req, stored)
+
+    def test_stored_without_etag_never_revalidates(self):
+        stored = make_response()
+        del stored.headers["ETag"]
+        req = Request.get(URL.of("/p")).with_header("If-None-Match", "v1")
+        assert not revalidates(req, stored)
+
+
+class TestNotModified:
+    def test_304_carries_validators_and_freshness(self):
+        stored = make_response(etag="v7", cache_control="max-age=99")
+        nm = make_not_modified(stored, at=50.0)
+        assert nm.status == Status.NOT_MODIFIED
+        assert nm.etag == "v7"
+        assert nm.headers["Cache-Control"] == "max-age=99"
+        assert nm.generated_at == 50.0
+        assert nm.version == stored.version
+
+    def test_304_without_etag(self):
+        stored = make_response()
+        del stored.headers["ETag"]
+        nm = make_not_modified(stored, at=1.0)
+        assert nm.etag is None

@@ -1,0 +1,105 @@
+"""Tests for the predicate query engine."""
+
+from repro.origin import (
+    And,
+    Contains,
+    Eq,
+    Gt,
+    Gte,
+    In,
+    Lt,
+    Lte,
+    Not,
+    Or,
+    Query,
+)
+
+DOC = {
+    "name": "sneaker",
+    "price": 79.99,
+    "category": "shoes",
+    "tags": ["sale", "new"],
+    "stock": {"warehouse": 12},
+}
+
+
+class TestPredicates:
+    def test_eq(self):
+        assert Eq("category", "shoes").matches(DOC)
+        assert not Eq("category", "hats").matches(DOC)
+
+    def test_eq_missing_field_matches_none(self):
+        assert Eq("missing", None).matches(DOC)
+        assert not Eq("missing", "x").matches(DOC)
+
+    def test_dotted_path(self):
+        assert Eq("stock.warehouse", 12).matches(DOC)
+        assert not Eq("stock.shop", 1).matches(DOC)
+
+    def test_dotted_path_through_non_mapping(self):
+        assert not Eq("price.cents", 99).matches(DOC)
+
+    def test_comparisons(self):
+        assert Lt("price", 100).matches(DOC)
+        assert not Lt("price", 50).matches(DOC)
+        assert Lte("price", 79.99).matches(DOC)
+        assert Gt("price", 50).matches(DOC)
+        assert Gte("price", 79.99).matches(DOC)
+
+    def test_comparison_on_missing_field_is_false(self):
+        assert not Lt("missing", 10).matches(DOC)
+        assert not Gt("missing", 10).matches(DOC)
+
+    def test_comparison_type_error_is_false(self):
+        assert not Lt("name", 10).matches(DOC)
+
+    def test_in(self):
+        assert In("category", ["shoes", "hats"]).matches(DOC)
+        assert not In("category", ["hats"]).matches(DOC)
+
+    def test_contains(self):
+        assert Contains("tags", "sale").matches(DOC)
+        assert not Contains("tags", "vintage").matches(DOC)
+        assert not Contains("name", "s").matches(DOC)  # not a list
+
+    def test_and_or_not(self):
+        both = And([Eq("category", "shoes"), Lt("price", 100)])
+        assert both.matches(DOC)
+        either = Or([Eq("category", "hats"), Lt("price", 100)])
+        assert either.matches(DOC)
+        assert Not(Eq("category", "hats")).matches(DOC)
+
+    def test_operator_sugar(self):
+        assert (Eq("category", "shoes") & Lt("price", 100)).matches(DOC)
+        assert (Eq("category", "hats") | Lt("price", 100)).matches(DOC)
+        assert (~Eq("category", "hats")).matches(DOC)
+
+    def test_keys_are_stable_and_distinct(self):
+        a = Eq("category", "shoes")
+        b = Eq("category", "hats")
+        assert a.key() == Eq("category", "shoes").key()
+        assert a.key() != b.key()
+        assert And([a, b]).key() != Or([a, b]).key()
+
+
+class TestQuery:
+    def test_collection_must_match(self):
+        q = Query("products", Eq("category", "shoes"))
+        assert q.matches("products", DOC)
+        assert not q.matches("users", DOC)
+
+    def test_no_predicate_matches_everything_in_collection(self):
+        q = Query("products")
+        assert q.matches("products", {})
+
+    def test_key_includes_ordering_and_limit(self):
+        plain = Query("products", Eq("category", "shoes"))
+        ordered = Query(
+            "products",
+            Eq("category", "shoes"),
+            order_by="price",
+            descending=True,
+            limit=10,
+        )
+        assert plain.key() != ordered.key()
+        assert "limit:10" in ordered.key()

@@ -1,0 +1,123 @@
+"""Tests for the ground-truth resource version registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.origin import ResourceVersions
+
+
+@pytest.fixture
+def versions():
+    return ResourceVersions()
+
+
+class TestRegistration:
+    def test_register_starts_at_version_1(self, versions):
+        versions.register("r", at=5.0)
+        assert versions.current("r") == 1
+
+    def test_register_is_idempotent(self, versions):
+        versions.register("r", at=0.0)
+        versions.bump("r", at=1.0)
+        versions.register("r", at=2.0)
+        assert versions.current("r") == 2
+
+    def test_unknown_resource_raises(self, versions):
+        with pytest.raises(KeyError):
+            versions.current("ghost")
+        with pytest.raises(KeyError):
+            versions.version_at("ghost", 0.0)
+
+
+class TestBumping:
+    def test_bump_increments(self, versions):
+        versions.register("r")
+        assert versions.bump("r", at=1.0) == 2
+        assert versions.bump("r", at=2.0) == 3
+
+    def test_bump_backwards_in_time_rejected(self, versions):
+        versions.register("r", at=5.0)
+        with pytest.raises(ValueError):
+            versions.bump("r", at=1.0)
+
+    def test_bump_at_same_time_allowed(self, versions):
+        versions.register("r", at=5.0)
+        versions.bump("r", at=5.0)
+        assert versions.current("r") == 2
+
+
+class TestDependencies:
+    def test_bump_dependents(self, versions):
+        versions.depend("page-a", "products/1")
+        versions.depend("page-b", "products/1")
+        versions.depend("page-c", "products/2")
+        affected = versions.bump_dependents("products/1", at=1.0)
+        assert affected == {"page-a", "page-b"}
+        assert versions.current("page-a") == 2
+        assert versions.current("page-c") == 1
+
+    def test_dependency_reverse_index(self, versions):
+        versions.depend("page", "products/1")
+        versions.depend("page", "products/2")
+        assert versions.dependencies_of("page") == {
+            "products/1",
+            "products/2",
+        }
+        assert versions.dependents_of("products/1") == {"page"}
+
+    def test_no_dependents_is_empty(self, versions):
+        assert versions.bump_dependents("ghost/1", at=0.0) == set()
+
+
+class TestHistory:
+    def test_version_at_times(self, versions):
+        versions.register("r", at=0.0)
+        versions.bump("r", at=10.0)
+        versions.bump("r", at=20.0)
+        assert versions.version_at("r", 0.0) == 1
+        assert versions.version_at("r", 9.99) == 1
+        assert versions.version_at("r", 10.0) == 2
+        assert versions.version_at("r", 15.0) == 2
+        assert versions.version_at("r", 100.0) == 3
+
+    def test_version_before_existence_raises(self, versions):
+        versions.register("r", at=10.0)
+        with pytest.raises(ValueError):
+            versions.version_at("r", 5.0)
+
+    def test_versions_between_includes_boundary_version(self, versions):
+        versions.register("r", at=0.0)
+        versions.bump("r", at=10.0)
+        versions.bump("r", at=20.0)
+        # Window [5, 15]: v1 was current at 5; v2 appeared at 10.
+        assert versions.versions_between("r", 5.0, 15.0) == [1, 2]
+        # Window [10, 15]: v2 current at 10 (bump exactly at start).
+        assert versions.versions_between("r", 10.0, 15.0) == [2]
+        # Window entirely inside one version.
+        assert versions.versions_between("r", 11.0, 19.0) == [2]
+
+    def test_versions_between_bad_window(self, versions):
+        versions.register("r")
+        with pytest.raises(ValueError):
+            versions.versions_between("r", 5.0, 1.0)
+
+    def test_known_resources_sorted(self, versions):
+        versions.register("b")
+        versions.register("a")
+        assert versions.known_resources() == ["a", "b"]
+
+
+@given(bump_times=st.lists(st.floats(0.001, 1000), min_size=1, max_size=30))
+def test_version_at_is_consistent_with_bump_order(bump_times):
+    versions = ResourceVersions()
+    versions.register("r", at=0.0)
+    times = sorted(bump_times)
+    for t in times:
+        versions.bump("r", at=t)
+    # After all bumps the current version is 1 + number of bumps, and
+    # version_at after the last bump agrees.
+    assert versions.current("r") == 1 + len(times)
+    assert versions.version_at("r", times[-1] + 1) == 1 + len(times)
+    # At time zero only version 1 existed.
+    assert versions.version_at("r", 0.0) == 1

@@ -1,0 +1,267 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=42.5)
+    assert env.now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(3.0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [3.0]
+
+
+def test_timeout_zero_runs_at_current_time():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(0.0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [0.0]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_run_until_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(10.0)
+
+    env.process(proc(env))
+    env.run(until=25.0)
+    assert env.now == 25.0
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 5.0, "b"))
+    env.process(proc(env, 1.0, "a"))
+    env.process(proc(env, 9.0, "c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("first", "second", "third"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "payload"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    env.process(parent(env))
+    env.run()
+    assert results == ["payload"]
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(parent(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unwaited_failed_process_raises_at_step():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unobserved")
+
+    env.process(child(env))
+    with pytest.raises(RuntimeError, match="unobserved"):
+        env.run()
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    results = []
+    gate = env.event()
+
+    def waiter(env, gate):
+        value = yield gate
+        results.append((env.now, value))
+
+    def opener(env, gate):
+        yield env.timeout(7.0)
+        gate.succeed("open")
+
+    env.process(waiter(env, gate))
+    env.process(opener(env, gate))
+    env.run()
+    assert results == [(7.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    gate = env.event()
+    gate.succeed(1)
+    with pytest.raises(RuntimeError):
+        gate.succeed(2)
+
+
+def test_all_of_waits_for_everything():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="one")
+        t2 = env.timeout(5.0, value="five")
+        values = yield env.all_of([t1, t2])
+        results.append((env.now, sorted(values.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(5.0, ["five", "one"])]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        values = yield env.any_of([t1, t2])
+        results.append((env.now, list(values.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(1.0, ["fast"])]
+
+
+def test_interrupt_wakes_process_early():
+    env = Environment()
+    results = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            results.append((env.now, exc.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(3.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert results == [(3.0, "wake up")]
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    proc = env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+    assert proc.triggered
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(4.0)
+    assert env.peek() == 4.0
+
+
+def test_peek_empty_queue_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_nested_processes_three_deep():
+    env = Environment()
+    trace = []
+
+    def leaf(env):
+        yield env.timeout(1.0)
+        trace.append("leaf")
+        return 1
+
+    def middle(env):
+        value = yield env.process(leaf(env))
+        trace.append("middle")
+        return value + 1
+
+    def root(env):
+        value = yield env.process(middle(env))
+        trace.append("root")
+        return value + 1
+
+    proc = env.process(root(env))
+    env.run()
+    assert trace == ["leaf", "middle", "root"]
+    assert proc.value == 3

@@ -1,0 +1,45 @@
+"""Tests for the fault schedule."""
+
+import pytest
+
+from repro.simnet import FaultSchedule, OutageWindow
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        OutageWindow(10.0, 10.0)
+    with pytest.raises(ValueError):
+        OutageWindow(10.0, 5.0)
+
+
+def test_window_covers_half_open_interval():
+    window = OutageWindow(10.0, 20.0)
+    assert window.covers(10.0)
+    assert window.covers(19.999)
+    assert not window.covers(20.0)
+    assert not window.covers(9.999)
+
+
+def test_schedule_is_down():
+    schedule = FaultSchedule()
+    schedule.add_outage("origin", 100.0, 200.0)
+    assert schedule.is_down("origin", 150.0)
+    assert not schedule.is_down("origin", 50.0)
+    assert not schedule.is_down("edge", 150.0)
+
+
+def test_multiple_windows():
+    schedule = FaultSchedule()
+    schedule.add_outage("origin", 0.0, 10.0)
+    schedule.add_outage("origin", 50.0, 60.0)
+    assert schedule.is_down("origin", 5.0)
+    assert not schedule.is_down("origin", 20.0)
+    assert schedule.is_down("origin", 55.0)
+    assert schedule.total_downtime("origin") == 20.0
+    assert schedule.total_downtime("never") == 0.0
+
+
+def test_origin_outage_factory():
+    schedule = FaultSchedule.origin_outage(100.0, 130.0)
+    assert schedule.is_down("origin", 110.0)
+    assert schedule.total_downtime("origin") == 30.0

@@ -1,0 +1,102 @@
+"""Tests for topology and link semantics."""
+
+import random
+
+import pytest
+
+from repro.simnet import ConstantDelay, Link, NodeKind, Topology
+from repro.simnet.topology import two_tier
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+class TestLink:
+    def test_transfer_time_unconstrained(self):
+        link = Link(ConstantDelay(0.01))
+        assert link.transfer_time(10**9) == 0.0
+
+    def test_transfer_time_with_bandwidth(self):
+        link = Link(ConstantDelay(0.01), bandwidth=1000)
+        assert link.transfer_time(500) == 0.5
+
+    def test_transfer_rejects_negative_size(self):
+        link = Link(ConstantDelay(0.01), bandwidth=1000)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+
+    def test_bandwidth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Link(ConstantDelay(0.01), bandwidth=0)
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a", NodeKind.CLIENT)
+        with pytest.raises(ValueError):
+            topo.add_node("a", NodeKind.EDGE)
+
+    def test_connect_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a", NodeKind.CLIENT)
+        with pytest.raises(KeyError):
+            topo.connect("a", "ghost", Link(ConstantDelay(0.01)))
+
+    def test_links_are_bidirectional(self, rng):
+        topo = two_tier()
+        assert topo.one_way("client", "edge", rng) == 0.01
+        assert topo.one_way("edge", "client", rng) == 0.01
+
+    def test_missing_link_raises(self, rng):
+        topo = Topology()
+        topo.add_node("a", NodeKind.CLIENT)
+        topo.add_node("b", NodeKind.ORIGIN)
+        with pytest.raises(KeyError, match="no link"):
+            topo.one_way("a", "b", rng)
+
+    def test_rtt_is_two_one_ways(self, rng):
+        topo = two_tier(client_edge_delay=0.015)
+        assert topo.rtt("client", "edge", rng) == pytest.approx(0.03)
+
+    def test_request_time_includes_transfer(self, rng):
+        topo = Topology()
+        topo.add_node("c", NodeKind.CLIENT)
+        topo.add_node("o", NodeKind.ORIGIN)
+        topo.connect("c", "o", Link(ConstantDelay(0.05), bandwidth=1000))
+        # 2 x 0.05 propagation + 100/1000 transfer
+        assert topo.request_time("c", "o", rng, response_bytes=100) == (
+            pytest.approx(0.2)
+        )
+
+    def test_nodes_filter_by_kind(self):
+        topo = two_tier()
+        assert topo.nodes(NodeKind.EDGE) == ["edge"]
+        assert set(topo.nodes()) == {"client", "edge", "origin"}
+        assert topo.kind("origin") is NodeKind.ORIGIN
+
+    def test_nearest_edge_picks_lowest_mean(self, rng):
+        topo = Topology()
+        topo.add_node("c", NodeKind.CLIENT)
+        topo.add_node("far-edge", NodeKind.EDGE)
+        topo.add_node("near-edge", NodeKind.EDGE)
+        topo.connect("c", "far-edge", Link(ConstantDelay(0.09)))
+        topo.connect("c", "near-edge", Link(ConstantDelay(0.01)))
+        assert topo.nearest_edge("c", rng) == "near-edge"
+
+    def test_nearest_edge_without_edges_raises(self, rng):
+        topo = Topology()
+        topo.add_node("c", NodeKind.CLIENT)
+        with pytest.raises(KeyError):
+            topo.nearest_edge("c", rng)
+
+    def test_nearest_edge_tie_broken_by_name(self, rng):
+        topo = Topology()
+        topo.add_node("c", NodeKind.CLIENT)
+        topo.add_node("edge-b", NodeKind.EDGE)
+        topo.add_node("edge-a", NodeKind.EDGE)
+        topo.connect("c", "edge-b", Link(ConstantDelay(0.01)))
+        topo.connect("c", "edge-a", Link(ConstantDelay(0.01)))
+        assert topo.nearest_edge("c", rng) == "edge-a"

@@ -1,0 +1,162 @@
+"""Tests for the plain Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import BloomFilter
+from repro.sketch.bloom import index_positions
+
+
+class TestBasics:
+    def test_added_keys_are_found(self):
+        bf = BloomFilter(bits=1024, hashes=3)
+        bf.add("alpha")
+        bf.add("beta")
+        assert "alpha" in bf
+        assert "beta" in bf
+
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(bits=1024, hashes=3)
+        assert "anything" not in bf
+        assert bf.is_empty()
+
+    def test_update_adds_many(self):
+        bf = BloomFilter(bits=4096, hashes=3)
+        bf.update(f"key-{i}" for i in range(50))
+        assert all(f"key-{i}" in bf for i in range(50))
+        assert bf.count == 50
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=0, hashes=3)
+        with pytest.raises(ValueError):
+            BloomFilter(bits=10, hashes=0)
+
+    def test_positions_deterministic(self):
+        a = index_positions("key", 1000, 5)
+        b = index_positions("key", 1000, 5)
+        assert a == b
+        assert len(a) == 5
+        assert all(0 <= p < 1000 for p in a)
+
+    def test_clear(self):
+        bf = BloomFilter(bits=128, hashes=2)
+        bf.add("x")
+        bf.clear()
+        assert bf.is_empty()
+        assert bf.count == 0
+
+
+class TestStatistics:
+    def test_fill_ratio_and_bits_set(self):
+        bf = BloomFilter(bits=100, hashes=2)
+        assert bf.fill_ratio() == 0.0
+        bf.add("x")
+        assert 1 <= bf.bits_set() <= 2
+        assert bf.fill_ratio() == bf.bits_set() / 100
+
+    def test_observed_fpr_grows_with_load(self):
+        bf = BloomFilter(bits=256, hashes=3)
+        empty_fpr = bf.observed_fpr()
+        bf.update(f"k{i}" for i in range(100))
+        assert bf.observed_fpr() > empty_fpr
+
+    def test_cardinality_estimate_tracks_inserts(self):
+        bf = BloomFilter(bits=16384, hashes=5)
+        bf.update(f"k{i}" for i in range(500))
+        assert bf.estimated_cardinality() == pytest.approx(500, rel=0.15)
+
+    def test_cardinality_of_saturated_filter_is_inf(self):
+        bf = BloomFilter(bits=8, hashes=1)
+        bf.update(f"k{i}" for i in range(200))
+        if bf.fill_ratio() == 1.0:
+            assert bf.estimated_cardinality() == float("inf")
+
+    def test_measured_fpr_close_to_theory(self):
+        # 1000 elements in an (m, k) sized for 5% FPR: measure on keys
+        # never inserted.
+        from repro.sketch import optimal_parameters
+
+        m, k = optimal_parameters(1000, 0.05)
+        bf = BloomFilter(m, k)
+        bf.update(f"member-{i}" for i in range(1000))
+        false_positives = sum(
+            1 for i in range(10_000) if f"other-{i}" in bf
+        )
+        assert false_positives / 10_000 == pytest.approx(0.05, abs=0.02)
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = BloomFilter(bits=512, hashes=3)
+        b = BloomFilter(bits=512, hashes=3)
+        a.add("left")
+        b.add("right")
+        both = a.union(b)
+        assert "left" in both and "right" in both
+
+    def test_union_requires_same_parameters(self):
+        a = BloomFilter(bits=512, hashes=3)
+        b = BloomFilter(bits=256, hashes=3)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_copy_is_independent(self):
+        a = BloomFilter(bits=128, hashes=2)
+        a.add("x")
+        b = a.copy()
+        b.add("y")
+        assert "y" in b and "y" not in a
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        bf = BloomFilter(bits=300, hashes=4)
+        bf.update(f"k{i}" for i in range(20))
+        data = bf.to_bytes()
+        restored = BloomFilter.from_bytes(data, bits=300, hashes=4)
+        assert all(f"k{i}" in restored for i in range(20))
+        assert restored.bits_set() == bf.bits_set()
+
+    def test_transfer_size(self):
+        assert BloomFilter(bits=300, hashes=4).transfer_size_bytes() == 38
+        assert BloomFilter(bits=8, hashes=1).transfer_size_bytes() == 1
+
+    def test_from_bytes_too_short_raises(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"\x00", bits=300, hashes=4)
+
+    def test_sparse_filters_compress_well(self):
+        bf = BloomFilter(bits=80_000, hashes=5)
+        bf.update(f"k{i}" for i in range(10))  # very sparse
+        assert bf.compressed_size_bytes() < bf.transfer_size_bytes() / 5
+
+    def test_dense_filters_compress_poorly(self):
+        bf = BloomFilter(bits=8_000, hashes=5)
+        bf.update(f"k{i}" for i in range(5_000))  # near-saturated
+        # Compression cannot do much for random dense bits.
+        assert bf.compressed_size_bytes() > bf.transfer_size_bytes() / 3
+
+
+class TestProperties:
+    @given(keys=st.lists(st.text(min_size=1, max_size=30), max_size=100))
+    @settings(max_examples=50)
+    def test_no_false_negatives_ever(self, keys):
+        bf = BloomFilter(bits=2048, hashes=4)
+        for key in keys:
+            bf.add(key)
+        assert all(key in bf for key in keys)
+
+    @given(
+        keys=st.lists(
+            st.text(min_size=1, max_size=20), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50)
+    def test_serialization_preserves_membership(self, keys):
+        bf = BloomFilter(bits=1024, hashes=3)
+        for key in keys:
+            bf.add(key)
+        restored = BloomFilter.from_bytes(bf.to_bytes(), 1024, 3)
+        assert all(key in restored for key in keys)

@@ -1,0 +1,114 @@
+"""Tests for the rotating (time-windowed) cache sketch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import RotatingCacheSketch, ServerCacheSketch
+
+
+@pytest.fixture
+def sketch():
+    return RotatingCacheSketch(horizon=100.0, window=50.0, capacity=500)
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RotatingCacheSketch(horizon=0.0)
+        with pytest.raises(ValueError):
+            RotatingCacheSketch(horizon=10.0, window=0.0)
+
+    def test_written_key_is_present(self, sketch):
+        sketch.report_write("k", now=10.0)
+        assert sketch.contains("k", now=10.0)
+
+    def test_unwritten_key_absent(self, sketch):
+        assert not sketch.contains("ghost", now=0.0)
+
+    def test_key_survives_horizon(self, sketch):
+        sketch.report_write("k", now=10.0)
+        assert sketch.contains("k", now=109.0)
+
+    def test_key_dropped_after_horizon_plus_window(self, sketch):
+        sketch.report_write("k", now=10.0)
+        # Written into window [0, 50); with 3 live windows it is gone
+        # once windows [0,50) rotates out, i.e. from t=200.
+        assert not sketch.contains("k", now=200.0)
+
+    def test_read_reporting_is_a_noop(self, sketch):
+        sketch.report_read("k", expires_at=1000.0, now=0.0)
+        assert not sketch.contains("k", now=0.0)
+
+    def test_window_count_covers_horizon(self):
+        sketch = RotatingCacheSketch(horizon=300.0, window=60.0)
+        assert sketch.window_count == 6  # ceil(300/60) + 1
+
+    def test_live_windows_bounded(self, sketch):
+        for t in range(0, 1000, 10):
+            sketch.report_write(f"k{t}", now=float(t))
+        assert sketch.live_windows() <= sketch.window_count
+
+
+class TestSnapshot:
+    def test_snapshot_unions_all_windows(self, sketch):
+        sketch.report_write("old", now=10.0)
+        sketch.report_write("new", now=60.0)  # different window
+        snap = sketch.snapshot(now=70.0)
+        assert snap.contains("old")
+        assert snap.contains("new")
+        assert snap.generated_at == 70.0
+
+    def test_snapshot_excludes_rotated_out_keys(self, sketch):
+        sketch.report_write("ancient", now=0.0)
+        snap = sketch.snapshot(now=500.0)
+        assert not snap.contains("ancient")
+
+
+class TestVersusCounting:
+    def test_rotating_retains_longer_than_counting(self):
+        """Over-retention: the rotating sketch keeps keys past the
+        copies' actual expiry; the counting sketch removes exactly."""
+        counting = ServerCacheSketch(capacity=500)
+        rotating = RotatingCacheSketch(horizon=100.0, window=100.0)
+        counting.report_read("k", expires_at=50.0, now=0.0)
+        counting.report_write("k", now=10.0)
+        rotating.report_write("k", now=10.0)
+        # At t=60 the only copy has expired: counting removes, rotating
+        # conservatively keeps.
+        assert not counting.contains("k", now=60.0)
+        assert rotating.contains("k", now=60.0)
+
+    def test_both_never_miss_a_recent_write(self):
+        counting = ServerCacheSketch(capacity=500)
+        rotating = RotatingCacheSketch(horizon=100.0, window=50.0)
+        counting.report_read("k", expires_at=100.0, now=0.0)
+        counting.report_write("k", now=10.0)
+        rotating.report_write("k", now=10.0)
+        for t in (10.0, 30.0, 80.0):
+            assert counting.contains("k", now=t)
+            assert rotating.contains("k", now=t)
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.floats(0.0, 400.0),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_no_false_negatives_within_horizon(self, writes):
+        """Safety property: any key written within the last `horizon`
+        seconds must still be in the sketch (no staleness escapes)."""
+        sketch = RotatingCacheSketch(horizon=100.0, window=25.0)
+        ordered = sorted(writes, key=lambda pair: pair[1])
+        for key, at in ordered:
+            sketch.report_write(key, now=at)
+        if not ordered:
+            return
+        now = ordered[-1][1]
+        for key, at in ordered:
+            if now - at <= 100.0:
+                assert sketch.contains(key, now=now)

@@ -1,0 +1,185 @@
+"""A full client+server Speed Kit stack for worker integration tests."""
+
+import random
+
+import pytest
+
+from repro.browser import Transport
+from repro.coherence import DeltaAtomicityChecker, SketchClient
+from repro.origin import (
+    Eq,
+    PersonalizationKind,
+    Query,
+    ResourceKind,
+    ResourceSpec,
+    Site,
+)
+from repro.sim import Environment
+from repro.simnet.topology import two_tier
+from repro.speedkit import (
+    ConsentManager,
+    PiiVault,
+    SegmentResolver,
+    SegmentScheme,
+    ServiceWorkerProxy,
+    SpeedKitBackend,
+    SpeedKitConfig,
+)
+
+CLIENT_EDGE = 0.01
+EDGE_ORIGIN = 0.04
+CLIENT_ORIGIN = 0.05
+
+
+def build_site():
+    site = Site()
+    site.add_route(
+        ResourceSpec(
+            name="asset",
+            pattern="/static/{name}",
+            kind=ResourceKind.STATIC,
+            doc_keys=lambda p: [f"assets/{p['name']}"],
+            size_bytes=40_000,
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="product",
+            pattern="/product/{id}",
+            kind=ResourceKind.PAGE,
+            personalization=PersonalizationKind.SEGMENT,
+            doc_keys=lambda p: [f"products/{p['id']}"],
+            size_bytes=20_000,
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="category",
+            pattern="/category/{name}",
+            kind=ResourceKind.QUERY,
+            query=lambda p: Query("products", Eq("category", p["name"])),
+            size_bytes=15_000,
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="cart",
+            pattern="/api/blocks/cart",
+            kind=ResourceKind.FRAGMENT,
+            personalization=PersonalizationKind.USER,
+            size_bytes=2_000,
+        )
+    )
+    site.add_route(
+        ResourceSpec(
+            name="checkout",
+            pattern="/checkout",
+            kind=ResourceKind.PAGE,
+            personalization=PersonalizationKind.USER,
+            size_bytes=10_000,
+        )
+    )
+    for i in range(10):
+        site.store.put(
+            "products",
+            str(i),
+            {"category": "shoes" if i % 2 == 0 else "hats", "price": 10 + i},
+        )
+    for name in ("app.js", "style.css"):
+        site.store.put("assets", name, {"name": name})
+    return site
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def backend(env):
+    return SpeedKitBackend(
+        env,
+        build_site(),
+        pop_names=["edge"],
+        detection_latency=0.02,
+        purge_latency=0.08,
+    )
+
+
+@pytest.fixture
+def topology():
+    return two_tier(
+        client_edge_delay=CLIENT_EDGE,
+        edge_origin_delay=EDGE_ORIGIN,
+        client_origin_delay=CLIENT_ORIGIN,
+    )
+
+
+@pytest.fixture
+def transport(env, topology, backend):
+    return Transport(env, topology, backend.server, random.Random(0))
+
+
+@pytest.fixture
+def config():
+    return SpeedKitConfig(
+        sketch_refresh_interval=60.0,
+        segment_personalized=["/product/*", "/category/*"],
+        user_personalized=["/api/blocks/*"],
+    )
+
+
+@pytest.fixture
+def make_worker(env, backend, topology, transport, config):
+    def factory(
+        user_id="u1",
+        attrs=None,
+        consent=None,
+        worker_config=None,
+        refresh_interval=None,
+    ):
+        cfg = worker_config or config
+        vault = PiiVault(
+            user_id=user_id,
+            attributes=attrs or {"tier": "gold", "locale": "de"},
+        )
+        consent_manager = consent or ConsentManager.all_granted()
+        sketch_client = SketchClient(
+            env,
+            backend.sketch,
+            topology,
+            client_node="client",
+            rng=random.Random(1),
+            refresh_interval=refresh_interval
+            or cfg.sketch_refresh_interval,
+        )
+        return ServiceWorkerProxy(
+            node="client",
+            transport=transport,
+            cdn=backend.cdn,
+            config=cfg,
+            vault=vault,
+            consent=consent_manager,
+            segments=SegmentResolver(
+                SegmentScheme.ecommerce_default(), vault, consent_manager
+            ),
+            sketch_client=sketch_client,
+        )
+
+    return factory
+
+
+@pytest.fixture
+def checker(backend):
+    return DeltaAtomicityChecker(backend.server, delta=61.0)
+
+
+def run(env, generator):
+    """Drive one sub-process to completion even while background
+    processes (e.g. the periodic sketch refresh) stay alive."""
+    process = env.process(generator)
+    while not process.triggered:
+        env.step()
+    if not process.ok:
+        raise process.value
+    return process.value

@@ -1,0 +1,65 @@
+"""Tests for routing rules and configuration."""
+
+import pytest
+
+from repro.http import Method, Request, URL
+from repro.speedkit import RoutingRules, SpeedKitConfig
+
+
+def get(path):
+    return Request.get(URL.parse(path))
+
+
+def post(path):
+    return Request(method=Method.POST, url=URL.parse(path))
+
+
+class TestRoutingRules:
+    def test_empty_rules_accelerate_all_safe_requests(self):
+        rules = RoutingRules()
+        assert rules.should_accelerate(get("/anything"))
+
+    def test_unsafe_methods_never_accelerated(self):
+        rules = RoutingRules()
+        assert not rules.should_accelerate(post("/anything"))
+
+    def test_whitelist_restricts(self):
+        rules = RoutingRules(whitelist=["/product/*", "/static/*"])
+        assert rules.should_accelerate(get("/product/42"))
+        assert rules.should_accelerate(get("/static/app.js"))
+        assert not rules.should_accelerate(get("/checkout"))
+
+    def test_blacklist_wins_over_whitelist(self):
+        rules = RoutingRules(
+            whitelist=["/product/*"], blacklist=["/product/secret*"]
+        )
+        assert rules.should_accelerate(get("/product/42"))
+        assert not rules.should_accelerate(get("/product/secret-sale"))
+
+    def test_blacklist_alone(self):
+        rules = RoutingRules(blacklist=["/account*"])
+        assert rules.should_accelerate(get("/product/1"))
+        assert not rules.should_accelerate(get("/account/settings"))
+
+
+class TestSpeedKitConfig:
+    def test_refresh_interval_validation(self):
+        with pytest.raises(ValueError):
+            SpeedKitConfig(sketch_refresh_interval=0.0)
+
+    def test_personalization_classification(self):
+        config = SpeedKitConfig(
+            segment_personalized=["/product/*"],
+            user_personalized=["/api/blocks/*"],
+        )
+        assert config.is_segment_personalized(get("/product/1"))
+        assert not config.is_segment_personalized(get("/static/a.js"))
+        assert config.is_user_personalized(get("/api/blocks/cart"))
+        assert not config.is_user_personalized(get("/product/1"))
+
+    def test_ecommerce_default_shape(self):
+        config = SpeedKitConfig.ecommerce_default()
+        assert config.rules.should_accelerate(get("/product/42"))
+        assert not config.rules.should_accelerate(get("/checkout/pay"))
+        assert config.is_user_personalized(get("/api/blocks/cart"))
+        assert config.is_segment_personalized(get("/category/shoes"))

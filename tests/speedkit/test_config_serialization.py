@@ -1,0 +1,44 @@
+"""Tests for config (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.speedkit import SpeedKitConfig
+
+
+def test_round_trip_default():
+    config = SpeedKitConfig.ecommerce_default()
+    restored = SpeedKitConfig.from_dict(config.to_dict())
+    assert restored.to_dict() == config.to_dict()
+    assert restored.rules.whitelist == config.rules.whitelist
+    assert restored.sketch_refresh_interval == (
+        config.sketch_refresh_interval
+    )
+
+
+def test_round_trip_through_json():
+    config = SpeedKitConfig.ecommerce_default()
+    config.stale_while_revalidate = True
+    config.swr_staleness_budget = 90.0
+    text = json.dumps(config.to_dict())
+    restored = SpeedKitConfig.from_dict(json.loads(text))
+    assert restored.stale_while_revalidate
+    assert restored.swr_staleness_budget == 90.0
+
+
+def test_minimal_dict_uses_defaults():
+    config = SpeedKitConfig.from_dict({"whitelist": ["/shop/*"]})
+    assert config.rules.whitelist == ["/shop/*"]
+    assert config.sketch_refresh_interval == 60.0
+    assert config.offline_mode
+
+
+def test_unknown_keys_rejected():
+    with pytest.raises(ValueError, match="unknown config keys"):
+        SpeedKitConfig.from_dict({"whitelst": ["/typo/*"]})
+
+
+def test_invalid_values_still_validated():
+    with pytest.raises(ValueError):
+        SpeedKitConfig.from_dict({"sketch_refresh_interval": 0.0})

@@ -1,0 +1,129 @@
+"""Tests for the GDPR layer: vault, consent, scrubbing."""
+
+from repro.http import Headers, Request, URL
+from repro.speedkit import ConsentManager, PiiVault, Purpose, RequestScrubber
+
+
+class TestPiiVault:
+    def test_identity_lifecycle(self):
+        vault = PiiVault()
+        assert not vault.has_identity
+        vault.set_identity("u42")
+        assert vault.has_identity
+        assert vault.identity_for_first_party() == "u42"
+
+    def test_clear_identity_erases_everything(self):
+        vault = PiiVault(user_id="u42", attributes={"tier": "gold"})
+        vault.clear_identity()
+        assert not vault.has_identity
+        assert vault.attribute("tier") is None
+
+    def test_attributes(self):
+        vault = PiiVault()
+        vault.set_attribute("locale", "de")
+        assert vault.attribute("locale") == "de"
+        assert vault.attribute("missing", "fallback") == "fallback"
+
+    def test_segmentation_view_is_a_copy(self):
+        vault = PiiVault(attributes={"tier": "gold"})
+        view = vault.attributes_for_segmentation()
+        view["tier"] = "hacked"
+        assert vault.attribute("tier") == "gold"
+
+
+class TestConsentManager:
+    def test_default_denies(self):
+        consent = ConsentManager()
+        assert not consent.allows(Purpose.ACCELERATION)
+
+    def test_grant_and_revoke(self):
+        consent = ConsentManager()
+        consent.grant(Purpose.ACCELERATION)
+        assert consent.allows(Purpose.ACCELERATION)
+        consent.revoke(Purpose.ACCELERATION)
+        assert not consent.allows(Purpose.ACCELERATION)
+        assert consent.changes == [
+            (Purpose.ACCELERATION, True),
+            (Purpose.ACCELERATION, False),
+        ]
+
+    def test_factories(self):
+        assert ConsentManager.all_granted().allows(Purpose.SEGMENTATION)
+        assert not ConsentManager.none_granted().allows(
+            Purpose.SEGMENTATION
+        )
+
+
+class TestRequestScrubber:
+    def scrub(self, headers=None, params=None):
+        scrubber = RequestScrubber()
+        request = Request.get(
+            URL.of("/p", params or {}), headers=Headers(headers or {})
+        )
+        return scrubber.scrub(request)
+
+    def test_cookie_header_removed(self):
+        cleaned, report = self.scrub(headers={"Cookie": "session=u42"})
+        assert "Cookie" not in cleaned.headers
+        assert report.removed_headers == ["Cookie"]
+
+    def test_authorization_removed_case_insensitive(self):
+        cleaned, report = self.scrub(headers={"AUTHORIZATION": "Bearer x"})
+        assert len(cleaned.headers) == 0
+
+    def test_benign_headers_survive(self):
+        cleaned, report = self.scrub(headers={"Accept": "text/html"})
+        assert cleaned.headers["Accept"] == "text/html"
+        assert not report.anything_removed
+
+    def test_identifying_params_removed(self):
+        cleaned, report = self.scrub(params={"userid": "42", "color": "red"})
+        assert cleaned.url.params == {"color": "red"}
+        assert report.removed_params == ["userid"]
+
+    def test_email_value_detected_anywhere(self):
+        cleaned, report = self.scrub(params={"q": "jane@example.com"})
+        assert "q" not in cleaned.url.params
+
+    def test_opaque_token_value_detected(self):
+        token = "a" * 40
+        cleaned, report = self.scrub(headers={"X-Custom": token})
+        assert "X-Custom" not in cleaned.headers
+
+    def test_short_values_are_not_tokens(self):
+        cleaned, report = self.scrub(params={"q": "shoes"})
+        assert cleaned.url.params == {"q": "shoes"}
+
+    def test_original_request_is_untouched(self):
+        scrubber = RequestScrubber()
+        request = Request.get(
+            URL.of("/p", {"session": "x"}),
+            headers=Headers({"Cookie": "session=u42"}),
+        )
+        scrubber.scrub(request)
+        assert request.headers["Cookie"] == "session=u42"
+        assert request.url.params == {"session": "x"}
+
+    def test_audit_log_accumulates(self):
+        scrubber = RequestScrubber()
+        scrubber.scrub(Request.get(URL.of("/a")))
+        scrubber.scrub(
+            Request.get(URL.of("/b"), headers=Headers({"Cookie": "s=1"}))
+        )
+        assert len(scrubber.audit_log) == 2
+        assert not scrubber.audit_log[0].anything_removed
+        assert scrubber.audit_log[1].anything_removed
+
+    def test_custom_denylists(self):
+        scrubber = RequestScrubber(
+            header_denylist=("x-tracking",), param_denylist=("ref",)
+        )
+        request = Request.get(
+            URL.of("/p", {"ref": "mail"}),
+            headers=Headers({"X-Tracking": "1", "Cookie": "s=1"}),
+        )
+        cleaned, report = scrubber.scrub(request)
+        # Cookie survives (not on the custom list, not an opaque token).
+        assert "Cookie" in cleaned.headers
+        assert "X-Tracking" not in cleaned.headers
+        assert "ref" not in cleaned.url.params

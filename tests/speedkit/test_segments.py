@@ -1,0 +1,77 @@
+"""Tests for client-side segmentation."""
+
+from repro.speedkit import (
+    ConsentManager,
+    PiiVault,
+    Purpose,
+    SegmentResolver,
+    SegmentScheme,
+)
+
+
+def make_resolver(attrs=None, consented=True, identified=True):
+    vault = PiiVault(
+        user_id="u1" if identified else None, attributes=attrs or {}
+    )
+    consent = (
+        ConsentManager.all_granted()
+        if consented
+        else ConsentManager.none_granted()
+    )
+    return SegmentResolver(SegmentScheme.ecommerce_default(), vault, consent)
+
+
+class TestSegmentScheme:
+    def test_empty_scheme_is_one_segment(self):
+        assert SegmentScheme().segment_of({"anything": 1}) == "all"
+
+    def test_dimensions_compose(self):
+        scheme = SegmentScheme.ecommerce_default()
+        assert scheme.segment_of({"tier": "gold", "locale": "de"}) == "gold|de"
+
+    def test_missing_attributes_use_defaults(self):
+        scheme = SegmentScheme.ecommerce_default()
+        assert scheme.segment_of({}) == "standard|en"
+
+    def test_anonymity_report(self):
+        scheme = SegmentScheme.ecommerce_default()
+        population = [
+            {"tier": "gold", "locale": "de"},
+            {"tier": "gold", "locale": "de"},
+            {"tier": "standard", "locale": "en"},
+        ]
+        report = scheme.anonymity_report(population)
+        assert report == {"gold|de": 2, "standard|en": 1}
+        assert scheme.min_anonymity(population) == 1
+
+    def test_min_anonymity_of_empty_population(self):
+        assert SegmentScheme.ecommerce_default().min_anonymity([]) == 0
+
+    def test_add_dimension_chains(self):
+        scheme = SegmentScheme().add_dimension(
+            "cohort", lambda a: str(a.get("cohort", "A"))
+        )
+        assert scheme.segment_of({"cohort": "B"}) == "B"
+
+
+class TestSegmentResolver:
+    def test_consenting_identified_user_gets_real_segment(self):
+        resolver = make_resolver({"tier": "gold", "locale": "fr"})
+        assert resolver.resolve() == "gold|fr"
+
+    def test_without_consent_default_segment(self):
+        resolver = make_resolver({"tier": "gold"}, consented=False)
+        assert resolver.resolve() == SegmentResolver.DEFAULT_SEGMENT
+
+    def test_anonymous_user_default_segment(self):
+        resolver = make_resolver(identified=False)
+        assert resolver.resolve() == SegmentResolver.DEFAULT_SEGMENT
+
+    def test_partial_consent_segmentation_only_matters(self):
+        vault = PiiVault(user_id="u1", attributes={"tier": "gold"})
+        consent = ConsentManager(granted={Purpose.ACCELERATION})
+        resolver = SegmentResolver(
+            SegmentScheme.ecommerce_default(), vault, consent
+        )
+        # Acceleration alone does not allow deriving a segment.
+        assert resolver.resolve() == SegmentResolver.DEFAULT_SEGMENT

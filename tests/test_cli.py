@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+QUICK = ["--quick", "--users", "8", "--products", "20", "--session-rate", "0.05"]
+
+
+def test_run_prints_summary(capsys):
+    assert main(["run", "--scenario", "speed-kit"] + QUICK) == 0
+    out = capsys.readouterr().out
+    assert "Run summary" in out
+    assert "speed-kit" in out
+    assert "Hit ratio by content type" in out
+
+
+def test_run_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["run", "--scenario", "warp-drive"])
+
+
+def test_compare_two_scenarios(capsys):
+    code = main(
+        ["compare", "--scenarios", "classic-cdn,speed-kit"] + QUICK
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Scenario comparison" in out
+    assert "A/B" in out
+
+
+def test_sweep_delta(capsys):
+    assert main(["sweep-delta", "--deltas", "30,120"] + QUICK) == 0
+    out = capsys.readouterr().out
+    assert "Δ sweep" in out
+    assert "30" in out and "120" in out
+
+
+def test_sweep_segments(capsys):
+    assert main(["sweep-segments", "--segments", "1,9"] + QUICK) == 0
+    assert "Segment sweep" in capsys.readouterr().out
+
+
+def test_gen_trace_and_replay(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["gen-trace", "--out", str(trace_path)] + QUICK) == 0
+    assert trace_path.exists()
+    capsys.readouterr()
+    code = main(
+        [
+            "run",
+            "--scenario",
+            "classic-cdn",
+            "--trace",
+            str(trace_path),
+            "--users",
+            "8",
+            "--products",
+            "20",
+        ]
+    )
+    assert code == 0
+    assert "classic-cdn" in capsys.readouterr().out
+
+
+def test_run_writes_json_record(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "result.json"
+    code = main(
+        ["run", "--scenario", "speed-kit", "--json", str(out)] + QUICK
+    )
+    assert code == 0
+    record = json.loads(out.read_text())
+    assert record["scenario"] == "speed-kit"
+    assert record["delta_violations"] == 0
+    assert "plt" in record and record["plt"]["count"] > 0
+
+
+def test_report_to_file(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    code = main(
+        ["report", "--scenarios", "speed-kit", "--out", str(out)] + QUICK
+    )
+    assert code == 0
+    content = out.read_text()
+    assert content.startswith("# Speed Kit reproduction report")
+    assert "speed-kit" in content
+
+
+def test_report_to_stdout(capsys):
+    assert main(["report", "--scenarios", "speed-kit"] + QUICK) == 0
+    assert "## Scenario comparison" in capsys.readouterr().out
+
+
+def test_requires_a_command():
+    with pytest.raises(SystemExit):
+        main([])

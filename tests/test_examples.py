@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_all_examples_are_covered():
+    """Every example script has a smoke test in this module."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    tested = {
+        "quickstart.py",
+        "ecommerce_comparison.py",
+        "coherence_walkthrough.py",
+        "gdpr_audit.py",
+        "dynamic_blocks.py",
+        "offline_resilience.py",
+        "news_site.py",
+    }
+    assert scripts == tested
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "cold fetch" in out
+    assert "version: 2" in out  # saw the new price
+
+
+def test_ecommerce_comparison():
+    out = run_example("ecommerce_comparison.py", "--quick")
+    assert "Scenario comparison" in out
+    assert "speed-kit" in out
+    assert "A/B" in out
+
+
+def test_coherence_walkthrough():
+    out = run_example("coherence_walkthrough.py")
+    assert "IN sketch" in out
+    assert "key removed automatically" in out
+
+
+def test_gdpr_audit():
+    out = run_example("gdpr_audit.py")
+    assert "removed headers" in out
+    assert "k-anonymity" in out
+
+
+def test_dynamic_blocks():
+    out = run_example("dynamic_blocks.py")
+    assert "+blocks" in out
+    assert "never the cart" in out
+
+
+def test_offline_resilience():
+    out = run_example("offline_resilience.py")
+    assert "Availability through the outage" in out
+
+
+def test_news_site():
+    out = run_example("news_site.py")
+    assert "Breaking-news churn" in out

@@ -1,0 +1,113 @@
+"""Tests for the flash-sale workload composition."""
+
+import random
+
+import pytest
+
+from repro.workload import (
+    CatalogConfig,
+    FlashSaleConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    generate_catalog,
+    generate_users,
+    make_flash_sale_trace,
+)
+
+
+@pytest.fixture
+def parts():
+    catalog = generate_catalog(CatalogConfig(n_products=60), random.Random(0))
+    users = generate_users(UserPopulationConfig(n_users=20), random.Random(1))
+    workload = WorkloadConfig(duration=2400.0, session_rate=0.1)
+    return catalog, users, workload
+
+
+def make(parts, **kwargs):
+    catalog, users, workload = parts
+    sale = FlashSaleConfig(**kwargs)
+    return sale, make_flash_sale_trace(
+        catalog, users, workload, sale, random.Random(2)
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashSaleConfig(start=100.0, end=100.0)
+        with pytest.raises(ValueError):
+            FlashSaleConfig(discount=0.0)
+        with pytest.raises(ValueError):
+            FlashSaleConfig(spike_rate=-1.0)
+
+    def test_phase_of(self):
+        sale = FlashSaleConfig(start=100.0, end=200.0)
+        assert sale.phase_of(50.0) == "before"
+        assert sale.phase_of(100.0) == "during"
+        assert sale.phase_of(199.9) == "during"
+        assert sale.phase_of(200.0) == "after"
+
+    def test_sale_must_fit_in_trace(self, parts):
+        with pytest.raises(ValueError, match="sale ends"):
+            make(parts, start=2000.0, end=3000.0)
+
+    def test_unknown_category_rejected(self, parts):
+        with pytest.raises(ValueError, match="no products"):
+            make(parts, category="unicorns")
+
+
+class TestComposition:
+    def test_trace_is_valid_and_ordered(self, parts):
+        _, trace = make(parts)
+        trace.validate()
+
+    def test_write_bursts_at_boundaries(self, parts):
+        catalog, _, _ = parts
+        sale, trace = make(parts)
+        sale_count = sum(
+            1 for p in catalog.products if p.category == "sale"
+        )
+        at_start = [
+            u for u in trace.product_updates() if u.at == sale.start
+        ]
+        at_end = [u for u in trace.product_updates() if u.at == sale.end]
+        assert len(at_start) == sale_count
+        assert len(at_end) == sale_count
+        # Prices discounted at start, restored at end.
+        product = catalog.product(at_start[0].product_id)
+        assert at_start[0].changes_dict["price"] == pytest.approx(
+            round(product.price * sale.discount, 2)
+        )
+
+    def test_traffic_spike_inside_window(self, parts):
+        sale, trace = make(parts, spike_rate=2.0)
+        views = trace.page_views()
+        during = [v for v in views if sale.start <= v.at < sale.end]
+        window = sale.end - sale.start
+        before = [v for v in views if v.at < sale.start]
+        rate_during = len(during) / window
+        rate_before = len(before) / sale.start
+        assert rate_during > 2 * rate_before
+
+    def test_spike_views_target_sale_content(self, parts):
+        catalog, _, _ = parts
+        sale, trace = make(parts, spike_rate=2.0)
+        during = [
+            v
+            for v in trace.page_views()
+            if sale.start <= v.at < sale.end
+        ]
+        sale_ids = {
+            p.product_id for p in catalog.products if p.category == "sale"
+        }
+        sale_related = [
+            v
+            for v in during
+            if v.target == "sale" or v.target in sale_ids
+        ]
+        assert len(sale_related) > len(during) / 2
+
+    def test_deterministic(self, parts):
+        _, a = make(parts)
+        _, b = make(parts)
+        assert a.events == b.events

@@ -1,0 +1,103 @@
+"""Tests for trace serialization."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.workload import (
+    CatalogConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    dump_trace,
+    generate_catalog,
+    generate_users,
+    load_trace,
+)
+from repro.workload.trace import CartAdd, PageView, ProductUpdate, WorkloadTrace
+
+
+@pytest.fixture
+def trace():
+    catalog = generate_catalog(CatalogConfig(n_products=20), random.Random(0))
+    users = generate_users(UserPopulationConfig(n_users=10), random.Random(1))
+    config = WorkloadConfig(duration=600.0, write_rate=0.05, cart_add_prob=0.5)
+    return WorkloadGenerator(catalog, users, config).generate(random.Random(2))
+
+
+def round_trip(trace):
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    buffer.seek(0)
+    return load_trace(buffer)
+
+
+def test_round_trip_preserves_everything(trace):
+    restored = round_trip(trace)
+    assert restored.duration == trace.duration
+    assert restored.events == trace.events
+
+
+def test_round_trip_via_file(trace, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    dump_trace(trace, path)
+    restored = load_trace(path)
+    assert restored.events == trace.events
+
+
+def test_each_event_kind_round_trips():
+    trace = WorkloadTrace(duration=100.0)
+    trace.events = [
+        PageView(at=1.0, user_id="u1", page_kind="home", target=""),
+        ProductUpdate(at=2.0, product_id="p1", changes=(("price", 9.5),)),
+        CartAdd(at=3.0, user_id="u1", product_id="p1"),
+    ]
+    restored = round_trip(trace)
+    assert isinstance(restored.events[0], PageView)
+    assert isinstance(restored.events[1], ProductUpdate)
+    assert restored.events[1].changes_dict == {"price": 9.5}
+    assert isinstance(restored.events[2], CartAdd)
+
+
+def test_empty_file_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        load_trace(io.StringIO(""))
+
+
+def test_wrong_format_rejected():
+    buffer = io.StringIO(json.dumps({"format": "something-else"}) + "\n")
+    with pytest.raises(ValueError, match="not a repro trace"):
+        load_trace(buffer)
+
+
+def test_wrong_version_rejected():
+    header = {"format": "repro-trace", "version": 999, "duration": 1.0}
+    buffer = io.StringIO(json.dumps(header) + "\n")
+    with pytest.raises(ValueError, match="version"):
+        load_trace(buffer)
+
+
+def test_truncated_trace_rejected(trace):
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    lines = buffer.getvalue().splitlines()
+    truncated = io.StringIO("\n".join(lines[:-3]) + "\n")
+    with pytest.raises(ValueError, match="truncated"):
+        load_trace(truncated)
+
+
+def test_unknown_event_kind_rejected():
+    header = {
+        "format": "repro-trace",
+        "version": 1,
+        "duration": 10.0,
+        "events": 1,
+    }
+    body = {"kind": "mystery", "at": 1.0}
+    buffer = io.StringIO(
+        json.dumps(header) + "\n" + json.dumps(body) + "\n"
+    )
+    with pytest.raises(ValueError, match="unknown event kind"):
+        load_trace(buffer)

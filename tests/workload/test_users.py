@@ -1,0 +1,59 @@
+"""Tests for user population generation."""
+
+import random
+
+import pytest
+
+from repro.workload import UserPopulationConfig, generate_users
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        UserPopulationConfig(n_users=0)
+    with pytest.raises(ValueError):
+        UserPopulationConfig(tier_mix=(("a", 0.5), ("b", 0.6)))
+
+
+def test_deterministic():
+    a = generate_users(UserPopulationConfig(n_users=30), random.Random(3))
+    b = generate_users(UserPopulationConfig(n_users=30), random.Random(3))
+    assert a.users == b.users
+
+
+def test_population_shape():
+    population = generate_users(
+        UserPopulationConfig(n_users=500), random.Random(0)
+    )
+    assert len(population) == 500
+    assert population.by_id("u17").user_id == "u17"
+    tiers = {user.tier for user in population.users}
+    assert tiers <= {"standard", "gold", "platinum"}
+    connections = {user.connection for user in population.users}
+    assert connections <= {"fiber", "cable", "lte", "3g"}
+
+
+def test_mix_fractions_roughly_hold():
+    population = generate_users(
+        UserPopulationConfig(n_users=2000), random.Random(1)
+    )
+    standard = sum(1 for u in population.users if u.tier == "standard")
+    assert standard / 2000 == pytest.approx(0.70, abs=0.05)
+    logged_in = sum(1 for u in population.users if u.logged_in)
+    assert logged_in / 2000 == pytest.approx(0.60, abs=0.05)
+
+
+def test_segment_attribute_list():
+    population = generate_users(
+        UserPopulationConfig(n_users=10), random.Random(0)
+    )
+    attrs = population.segment_attribute_list()
+    assert len(attrs) == 10
+    assert set(attrs[0]) == {"tier", "locale"}
+
+
+def test_sample_draws_members():
+    population = generate_users(
+        UserPopulationConfig(n_users=10), random.Random(0)
+    )
+    rng = random.Random(5)
+    assert population.sample(rng) in population.users
