@@ -64,6 +64,7 @@ def run_cached(workload):
             spec.adaptive_ttl,
             spec.n_segments,
             spec.seed,
+            spec.backend,
         )
         if key not in cache:
             cache[key] = SimulationRunner(

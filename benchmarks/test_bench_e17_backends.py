@@ -1,0 +1,134 @@
+"""E17 — Storage engines: polyglot backend choice across the stack.
+
+Replays the standard Speed Kit workload with each registered storage
+engine behind every cache tier and the origin store, and compares hit
+ratio, page load times, invalidation latency, and origin load. The
+local engines (classic in-memory, hash-sharded) must be behaviourally
+identical — sharding changes placement, not cacheability — while the
+simulated remote KV engine pays a per-operation latency that must show
+up in page load times and purge completion.
+
+Also guards the O(log n) LFU victim picker: admitting far more entries
+than capacity under LFU must stay fast (the old implementation scanned
+every resident entry per eviction).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.cdn import CacheStore, EvictionPolicy
+from repro.harness import Scenario, ScenarioSpec, format_table
+from repro.http import Headers, Response, Status, URL
+from repro.storage import BackendSpec
+
+from benchmarks.conftest import emit
+
+ENGINES = {
+    "inmemory": BackendSpec(kind="inmemory"),
+    "sharded": BackendSpec(kind="sharded", n_shards=8),
+    "remote": BackendSpec(kind="remote", seed=1),
+}
+
+
+@pytest.fixture(scope="module")
+def results(run_cached):
+    return {
+        name: run_cached(
+            ScenarioSpec(scenario=Scenario.SPEED_KIT, backend=spec)
+        )
+        for name, spec in ENGINES.items()
+    }
+
+
+def test_bench_e17_backend_comparison(results, benchmark):
+    rows = []
+    for name, result in results.items():
+        purge = result.metrics.histogram("invalidation.purge_latency")
+        rows.append(
+            {
+                "backend": name,
+                "hit_ratio": round(result.cache_hit_ratio(), 3),
+                "plt_p50_ms": round(result.plt.percentile(50) * 1000, 1),
+                "plt_p95_ms": round(result.plt.percentile(95) * 1000, 1),
+                "purge_p50_ms": round(purge.percentile(50) * 1000, 2),
+                "origin_reqs": result.origin_requests,
+                "violations": result.delta_violations,
+            }
+        )
+    emit(
+        "e17_backends",
+        format_table(rows, title="E17: storage-engine comparison"),
+    )
+
+    inmemory, sharded, remote = (
+        results["inmemory"],
+        results["sharded"],
+        results["remote"],
+    )
+    # Local engines: identical caching behaviour, only placement moves.
+    assert sharded.cache_hit_ratio() == pytest.approx(
+        inmemory.cache_hit_ratio()
+    )
+    assert sharded.origin_requests == inmemory.origin_requests
+    # The remote engine charges per-operation cost: slower pages and
+    # purges, but the *same* cacheability (hit ratios stay close).
+    assert remote.plt.percentile(50) >= inmemory.plt.percentile(50)
+    remote_purge = remote.metrics.histogram("invalidation.purge_latency")
+    local_purge = inmemory.metrics.histogram("invalidation.purge_latency")
+    assert remote_purge.percentile(50) > local_purge.percentile(50)
+    assert remote.cache_hit_ratio() == pytest.approx(
+        inmemory.cache_hit_ratio(), abs=0.05
+    )
+    # The Δ guarantee is engine-independent.
+    for result in results.values():
+        assert result.delta_violations == 0
+
+    benchmark.pedantic(
+        lambda: [r.cache_hit_ratio() for r in results.values()],
+        rounds=5,
+        iterations=10,
+    )
+
+
+def _response(i):
+    return Response(
+        status=Status.OK,
+        headers=Headers(
+            {"Cache-Control": "public, max-age=3600", "Content-Length": "100"}
+        ),
+        body="x",
+        url=URL.parse(f"/r{i}"),
+        version=1,
+        generated_at=0.0,
+    )
+
+
+def test_bench_e17_lfu_eviction_throughput(benchmark):
+    """The heap-based LFU victim picker admits well above capacity
+    cheaply; the old per-eviction O(n) scan made this quadratic."""
+    N_PUTS, CAPACITY = 20_000, 2_000
+    responses = [_response(i) for i in range(N_PUTS)]
+    rng = random.Random(0)
+
+    def kernel():
+        store = CacheStore(
+            shared=True, max_entries=CAPACITY, policy=EvictionPolicy.LFU
+        )
+        for i, response in enumerate(responses):
+            store.put(f"k{i}", response, now=float(i))
+            if i % 3 == 0:  # mixed hits keep the heap honest
+                store.get_fresh(f"k{rng.randrange(i + 1)}", now=float(i))
+        return store
+
+    started = time.perf_counter()
+    store = kernel()
+    elapsed = time.perf_counter() - started
+    assert len(store) == CAPACITY
+    assert store.evictions == N_PUTS - CAPACITY
+    # 18k evictions at 2k resident entries: the old O(n) scan did
+    # ~36M comparisons here; the heap finishes in well under a second.
+    assert elapsed < 5.0, f"LFU eviction too slow: {elapsed:.2f}s"
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

@@ -7,6 +7,7 @@ from typing import Optional
 from repro.cdn.cache import CacheStore
 from repro.cdn.httpcache import HttpCache
 from repro.sim.metrics import MetricRegistry
+from repro.storage.backend import CacheBackend
 
 
 class BrowserCache(HttpCache):
@@ -20,8 +21,12 @@ class BrowserCache(HttpCache):
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = 50_000_000,
         metrics: Optional[MetricRegistry] = None,
+        backend: Optional[CacheBackend] = None,
     ) -> None:
         store = CacheStore(
-            shared=False, max_entries=max_entries, max_bytes=max_bytes
+            shared=False,
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+            backend=backend,
         )
         super().__init__(name, store, metrics=metrics)

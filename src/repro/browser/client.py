@@ -73,12 +73,19 @@ class BrowserClient:
             )
         return response
 
+    def _charge_cache_latency(self) -> Generator:
+        """Convert accrued storage-engine latency into simulated time."""
+        lag = self.cache.store.drain_latency()
+        if lag > 0:
+            yield self.transport.env.timeout(lag)
+
     def fetch(self, request: Request) -> Generator:
         """Resolve one request (generator sub-process)."""
         if not request.method.is_safe:
             response = yield from self._transport_fetch(request)
             return response
         cached = self.cache.serve(request, self.transport.env.now)
+        yield from self._charge_cache_latency()
         if cached is not None:
             return cached
 
@@ -93,11 +100,16 @@ class BrowserClient:
                     request, response, self.transport.env.now
                 )
                 if refreshed is not None:
+                    yield from self._charge_cache_latency()
                     return refreshed
                 response = yield from self._transport_fetch(request)
-            return self.cache.admit(
+            admitted = self.cache.admit(
                 request, response, self.transport.env.now
             )
+            yield from self._charge_cache_latency()
+            return admitted
 
         response = yield from self._transport_fetch(request)
-        return self.cache.admit(request, response, self.transport.env.now)
+        admitted = self.cache.admit(request, response, self.transport.env.now)
+        yield from self._charge_cache_latency()
+        return admitted

@@ -64,6 +64,24 @@ class Transport:
                 _content_length(response)
             )
 
+    @property
+    def _origin_store(self):
+        site = getattr(self.origin_server, "site", None)
+        return getattr(site, "store", None)
+
+    def _charge_store_latency(self, store) -> Generator:
+        """Convert a store's accrued engine latency into simulated time.
+
+        Caches and the origin document store are synchronous; when
+        their storage engine is a simulated remote KV, the per-op cost
+        accrues inside the engine and is drained here, at the node that
+        performed the operations.
+        """
+        drain = getattr(store, "drain_latency", None) if store else None
+        lag = drain() if drain is not None else 0.0
+        if lag > 0:
+            yield self.env.timeout(lag)
+
     def _origin_handle(self, request: Request) -> Response:
         """Let the origin answer — unless it is down right now."""
         if self.faults is not None and self.faults.is_down(
@@ -90,6 +108,7 @@ class Transport:
             self.topology.one_way(client_node, self.origin_node, self.rng)
         )
         response = self._origin_handle(request)
+        yield from self._charge_store_latency(self._origin_store)
         self._count_bytes("origin_egress", response)
         link = self.topology.link(client_node, self.origin_node)
         yield self.env.timeout(
@@ -123,6 +142,7 @@ class Transport:
                 response = yield from self._fill_from_origin(
                     edge_name, edge, request
                 )
+        yield from self._charge_store_latency(edge.store)
         # Honor the client's validators at the edge: a matching ETag
         # turns the answer into a (cheap to transfer) 304.
         if response.status == Status.OK and revalidates(request, response):
@@ -140,6 +160,7 @@ class Transport:
         origin_link = self.topology.link(edge_name, self.origin_node)
         yield self.env.timeout(origin_link.one_way(self.rng))
         response = self._origin_handle(request)
+        yield from self._charge_store_latency(self._origin_store)
         self._count_bytes("origin_egress", response)
         yield self.env.timeout(
             origin_link.one_way(self.rng)
@@ -160,6 +181,7 @@ class Transport:
         origin_link = self.topology.link(edge_name, self.origin_node)
         yield self.env.timeout(origin_link.one_way(self.rng))
         upstream = self._origin_handle(upstream_request)
+        yield from self._charge_store_latency(self._origin_store)
         self._count_bytes("origin_egress", upstream)
         yield self.env.timeout(
             origin_link.one_way(self.rng)
@@ -172,6 +194,7 @@ class Transport:
             # Entry vanished between lookup and refresh: full refetch.
             yield self.env.timeout(origin_link.one_way(self.rng))
             upstream = self._origin_handle(request)
+            yield from self._charge_store_latency(self._origin_store)
             self._count_bytes("origin_egress", upstream)
             yield self.env.timeout(
                 origin_link.one_way(self.rng)

@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cdn.cache import CacheStore
 from repro.cdn.edge import EdgeCache
 from repro.sim.metrics import MetricRegistry
+from repro.storage import BackendSpec
 
 
 class Cdn:
@@ -16,6 +17,9 @@ class Cdn:
     models purge propagation latency by scheduling the call; the method
     itself applies instantly, matching the instant-purge APIs the paper
     relies on (Fastly).
+
+    ``backend_spec`` selects the storage engine every PoP stores its
+    entries in (each PoP gets its own engine instance).
     """
 
     def __init__(
@@ -24,16 +28,23 @@ class Cdn:
         max_entries_per_pop: Optional[int] = None,
         max_bytes_per_pop: Optional[int] = None,
         metrics: Optional[MetricRegistry] = None,
+        backend_spec: Optional[BackendSpec] = None,
     ) -> None:
         if not pop_names:
             raise ValueError("a CDN needs at least one PoP")
         self.metrics = metrics or MetricRegistry()
+        self.backend_spec = backend_spec
         self.pops: Dict[str, EdgeCache] = {}
         for name in pop_names:
             store = CacheStore(
                 shared=True,
                 max_entries=max_entries_per_pop,
                 max_bytes=max_bytes_per_pop,
+                backend=(
+                    backend_spec.build(salt=f"edge:{name}")
+                    if backend_spec is not None
+                    else None
+                ),
             )
             self.pops[name] = EdgeCache(name, store, metrics=self.metrics)
 

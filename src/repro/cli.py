@@ -25,6 +25,7 @@ from repro.harness import (
     compare_scenarios,
     format_table,
 )
+from repro.storage import BACKEND_KINDS, BackendSpec
 from repro.workload import (
     CatalogConfig,
     UserPopulationConfig,
@@ -35,6 +36,13 @@ from repro.workload import (
     generate_users,
     load_trace,
 )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1: {text}")
+    return value
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -49,6 +57,27 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--trace", default=None, help="replay a saved trace instead"
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_KINDS),
+        help="storage engine for every cache tier and the origin store "
+        "(default: the classic in-memory engine)",
+    )
+    parser.add_argument(
+        "--backend-shards",
+        type=_positive_int,
+        default=8,
+        help="shard count for --backend sharded",
+    )
+
+
+def _backend_spec(args) -> Optional[BackendSpec]:
+    if args.backend is None:
+        return None
+    return BackendSpec(
+        kind=args.backend, n_shards=args.backend_shards, seed=args.seed
     )
 
 
@@ -84,7 +113,10 @@ def cmd_run(args) -> int:
     scenario = Scenario(args.scenario)
     workload = _build_workload(args)
     spec = ScenarioSpec(
-        scenario=scenario, delta=args.delta, adaptive_ttl=args.adaptive_ttl
+        scenario=scenario,
+        delta=args.delta,
+        adaptive_ttl=args.adaptive_ttl,
+        backend=_backend_spec(args),
     )
     result = _run(spec, workload)
     if args.json:
@@ -109,7 +141,14 @@ def cmd_compare(args) -> int:
         scenario = Scenario(name.strip())
         print(f"running {scenario.value} ...", file=sys.stderr)
         results.append(
-            _run(ScenarioSpec(scenario=scenario, delta=args.delta), workload)
+            _run(
+                ScenarioSpec(
+                    scenario=scenario,
+                    delta=args.delta,
+                    backend=_backend_spec(args),
+                ),
+                workload,
+            )
         )
     print(
         format_table(
@@ -138,7 +177,12 @@ def cmd_sweep_delta(args) -> int:
     for delta in (float(d) for d in args.deltas.split(",")):
         print(f"running Δ={delta:g} ...", file=sys.stderr)
         result = _run(
-            ScenarioSpec(scenario=Scenario.SPEED_KIT, delta=delta), workload
+            ScenarioSpec(
+                scenario=Scenario.SPEED_KIT,
+                delta=delta,
+                backend=_backend_spec(args),
+            ),
+            workload,
         )
         rows.append(
             {
@@ -160,7 +204,12 @@ def cmd_sweep_segments(args) -> int:
     for n in (int(s) for s in args.segments.split(",")):
         print(f"running {n} segments ...", file=sys.stderr)
         result = _run(
-            ScenarioSpec(scenario=Scenario.SPEED_KIT, n_segments=n), workload
+            ScenarioSpec(
+                scenario=Scenario.SPEED_KIT,
+                n_segments=n,
+                backend=_backend_spec(args),
+            ),
+            workload,
         )
         rows.append(
             {
@@ -184,7 +233,14 @@ def cmd_report(args) -> int:
     for name in names:
         scenario = Scenario(name.strip())
         print(f"running {scenario.value} ...", file=sys.stderr)
-        results.append(_run(ScenarioSpec(scenario=scenario), workload))
+        results.append(
+            _run(
+                ScenarioSpec(
+                    scenario=scenario, backend=_backend_spec(args)
+                ),
+                workload,
+            )
+        )
     report = render_report(results, trace=trace)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

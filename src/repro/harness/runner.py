@@ -144,13 +144,17 @@ class SimulationRunner:
             edge_regions=edge_regions,
         )
 
-        site = self.site_factory(self.catalog)
+        site = self._build_site()
         self.server = OriginServer(site, ttl_policy=self._ttl_policy())
         self.cdn: Optional[Cdn] = None
         self.sketch: Optional[ServerCacheSketch] = None
         scenario = spec.scenario
         if scenario.uses_cdn:
-            self.cdn = Cdn(self._pop_names, metrics=self.metrics)
+            self.cdn = Cdn(
+                self._pop_names,
+                metrics=self.metrics,
+                backend_spec=spec.backend,
+            )
         if scenario.uses_speed_kit:
             use_sketch = scenario is not Scenario.SPEED_KIT_PURGE_ONLY
             use_purge = scenario is not Scenario.SPEED_KIT_SKETCH_ONLY
@@ -204,11 +208,39 @@ class SimulationRunner:
             plt=self.metrics.histogram("plt.all"),
         )
 
+    def _build_site(self):
+        """Build the site, injecting the scenario's storage engine into
+        the origin document store when the factory supports it."""
+        if self.spec.backend is not None:
+            try:
+                return self.site_factory(
+                    self.catalog,
+                    store_backend=self.spec.backend.build(salt="origin"),
+                )
+            except TypeError:
+                pass  # custom factory without backend injection
+        return self.site_factory(self.catalog)
+
+    def _browser_cache(self, node: str):
+        """A browser cache on the scenario's storage engine (or the
+        client default when no backend is selected)."""
+        if self.spec.backend is None:
+            return None
+        from repro.browser.cache import BrowserCache
+
+        return BrowserCache(
+            f"browser:{node}",
+            metrics=self.metrics,
+            backend=self.spec.backend.build(salt=f"browser:{node}"),
+        )
+
     def _speedkit_config(self) -> SpeedKitConfig:
         config = SpeedKitConfig.ecommerce_default()
         config.sketch_refresh_interval = self.spec.delta
         config.stale_while_revalidate = self.spec.stale_while_revalidate
         config.swr_staleness_budget = 2 * self.spec.delta
+        if self.spec.backend is not None:
+            config.backend = self.spec.backend
         if self.spec.scenario is Scenario.SPEED_KIT_NO_SEGMENTS:
             config.segment_personalized = []
         return config
@@ -233,6 +265,7 @@ class SimulationRunner:
                 node,
                 self.transport,
                 mode=TransportMode.DIRECT,
+                cache=self._browser_cache(node),
                 metrics=self.metrics,
             )
         elif scenario is Scenario.CLASSIC_CDN:
@@ -241,6 +274,7 @@ class SimulationRunner:
                 self.transport,
                 mode=TransportMode.CDN,
                 cdn=self.cdn,
+                cache=self._browser_cache(node),
                 metrics=self.metrics,
             )
         elif not user.consents:
@@ -250,6 +284,7 @@ class SimulationRunner:
                 node,
                 self.transport,
                 mode=TransportMode.DIRECT,
+                cache=self._browser_cache(node),
                 metrics=self.metrics,
             )
         else:
@@ -301,6 +336,13 @@ class SimulationRunner:
             refresh_interval=self.spec.delta,
             faults=self._faults,
         )
+        fallback = BrowserClient(
+            user.user_id,
+            self.transport,
+            mode=TransportMode.DIRECT,
+            cache=self._browser_cache(user.user_id),
+            metrics=self.metrics,
+        )
         return ServiceWorkerProxy(
             node=user.user_id,
             transport=self.transport,
@@ -313,6 +355,7 @@ class SimulationRunner:
             ),
             sketch_client=sketch_client,
             metrics=self.metrics,
+            fallback=fallback,
         )
 
     def _engine_for(self, user: User) -> PageLoadEngine:

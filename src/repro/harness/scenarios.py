@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.storage import BackendSpec
+
 
 class Scenario(enum.Enum):
     """The client/server configurations under comparison."""
@@ -71,6 +73,9 @@ class ScenarioSpec:
     #: runner builds a scheme with (approximately) this many segments
     #: (1 = everyone shares one variant, larger = finer slices).
     n_segments: Optional[int] = None
+    #: Storage engine for every cache tier and the origin store
+    #: (``None`` keeps the classic in-memory engine everywhere).
+    backend: Optional[BackendSpec] = None
     label: Optional[str] = None
 
     @property

@@ -152,13 +152,24 @@ class InvalidationPipeline:
                 ttl_policy(resource_key, self.env.now)
 
         yield self.env.timeout(self.purge_latency - self.detection_latency)
+        if self.cdn is not None:
+            for cache_key in sorted(cache_keys):
+                self.cdn.purge(cache_key)
+            # PoPs purge in parallel; a remote storage engine charges
+            # per-deletion cost, so the slowest PoP bounds completion.
+            lag = max(
+                (
+                    pop.store.drain_latency()
+                    for pop in self.cdn.pops.values()
+                ),
+                default=0.0,
+            )
+            if lag > 0:
+                yield self.env.timeout(lag)
         record.purge_at = self.env.now
         self.metrics.histogram("invalidation.purge_latency").observe(
             record.purge_at - record.write_at
         )
-        if self.cdn is not None:
-            for cache_key in sorted(cache_keys):
-                self.cdn.purge(cache_key)
         self.metrics.counter("invalidation.processed").inc()
 
     def _expand(self, resource_keys: Iterable[str]) -> Set[str]:

@@ -1,18 +1,26 @@
-"""Versioned in-memory document store with change notification.
+"""Versioned document store with change notification.
 
 The store is the paper's "polyglot backend" reduced to semantics:
 documents live in named collections, every write bumps a per-document
 version, and registered listeners observe each change — which is how
 the invalidation pipeline and the Cache Sketch learn about writes.
+
+Documents are held by a pluggable :mod:`repro.storage` engine keyed
+``collection/doc_id`` (default: the in-memory engine), so the origin
+tier participates in the polyglot backend axis: a sharded engine
+models a partitioned store, and the simulated remote engine charges
+per-operation latency that the transport layer folds into origin
+response times.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, List, Mapping, Optional
 
 from repro.origin.query import Query
+from repro.storage.backend import CacheBackend, InMemoryBackend
 
 
 @dataclass(frozen=True)
@@ -84,9 +92,21 @@ class DocumentStore:
     and increase by 1 per write to the same document id.
     """
 
-    def __init__(self) -> None:
-        self._collections: Dict[str, Dict[str, Document]] = {}
+    def __init__(self, backend: Optional[CacheBackend] = None) -> None:
+        self._backend = backend if backend is not None else InMemoryBackend()
         self._listeners: List[ChangeListener] = []
+
+    @staticmethod
+    def _key(collection: str, doc_id: str) -> str:
+        return f"{collection}/{doc_id}"
+
+    @property
+    def backend(self) -> CacheBackend:
+        return self._backend
+
+    def drain_latency(self) -> float:
+        """Simulated backend latency accrued since the last drain."""
+        return self._backend.drain_latency()
 
     def subscribe(self, listener: ChangeListener) -> None:
         """Register a listener called synchronously after each change."""
@@ -106,8 +126,8 @@ class DocumentStore:
         at: float = 0.0,
     ) -> Document:
         """Insert or fully replace a document; returns the new snapshot."""
-        docs = self._collections.setdefault(collection, {})
-        before = docs.get(doc_id)
+        key = self._key(collection, doc_id)
+        before = self._backend.peek(key)
         version = 1 if before is None else before.version + 1
         after = Document(
             collection=collection,
@@ -116,7 +136,7 @@ class DocumentStore:
             version=version,
             updated_at=at,
         )
-        docs[doc_id] = after
+        self._backend.put(key, after)
         self._emit(
             ChangeEvent(
                 collection=collection,
@@ -158,7 +178,7 @@ class DocumentStore:
         Raises :class:`VersionConflict` on a lost race — the caller
         re-reads and retries, exactly as against the real Orestes API.
         """
-        current = self._collections.get(collection, {}).get(doc_id)
+        current = self._backend.peek(self._key(collection, doc_id))
         actual = current.version if current is not None else 0
         if actual != expected_version:
             raise VersionConflict(
@@ -168,8 +188,7 @@ class DocumentStore:
 
     def delete(self, collection: str, doc_id: str, at: float = 0.0) -> None:
         """Remove a document; no-op if absent."""
-        docs = self._collections.get(collection, {})
-        before = docs.pop(doc_id, None)
+        before = self._backend.remove(self._key(collection, doc_id))
         if before is None:
             return
         self._emit(
@@ -184,10 +203,8 @@ class DocumentStore:
 
     # -- reads -------------------------------------------------------------
 
-    def get(self, collection: str, doc_id: str) -> Optional[Document]:
-        doc = self._collections.get(collection, {}).get(doc_id)
-        if doc is None:
-            return None
+    @staticmethod
+    def _snapshot(doc: Document) -> Document:
         # Data is deep-copied on write; snapshots themselves are frozen,
         # but nested mutables inside .data must not alias stored state.
         return Document(
@@ -198,16 +215,29 @@ class DocumentStore:
             updated_at=doc.updated_at,
         )
 
+    def get(self, collection: str, doc_id: str) -> Optional[Document]:
+        doc = self._backend.get(self._key(collection, doc_id))
+        if doc is None:
+            return None
+        return self._snapshot(doc)
+
     def find(self, query: Query) -> List[Document]:
-        """Evaluate a query: filter, order, limit."""
+        """Evaluate a query: filter, order, limit.
+
+        One backend scan per query — a prefix scan over the collection
+        reaches every shard of a partitioned engine.
+        """
         docs = [
-            self.get(query.collection, doc_id)
-            for doc_id in sorted(self._collections.get(query.collection, {}))
+            self._snapshot(doc)
+            for _, doc in sorted(
+                self._backend.scan(f"{query.collection}/"),
+                key=lambda item: item[0],
+            )
         ]
         results = [
             doc
             for doc in docs
-            if doc is not None and query.matches(doc.collection, doc.data)
+            if query.matches(doc.collection, doc.data)
         ]
         if query.order_by is not None:
             field = query.order_by
@@ -220,7 +250,9 @@ class DocumentStore:
         return results
 
     def count(self, collection: str) -> int:
-        return len(self._collections.get(collection, {}))
+        return sum(1 for _ in self._backend.scan(f"{collection}/"))
 
     def collections(self) -> List[str]:
-        return sorted(self._collections)
+        return sorted(
+            {key.split("/", 1)[0] for key, _ in self._backend.scan()}
+        )

@@ -11,6 +11,7 @@ from repro.origin.site import Site
 from repro.sim.environment import Environment
 from repro.sim.metrics import MetricRegistry
 from repro.sketch.cache_sketch import ServerCacheSketch
+from repro.storage import BackendSpec
 
 
 class SpeedKitBackend:
@@ -33,14 +34,20 @@ class SpeedKitBackend:
         detection_latency: float = 0.025,
         purge_latency: float = 0.080,
         metrics: Optional[MetricRegistry] = None,
+        backend_spec: Optional[BackendSpec] = None,
     ) -> None:
         self.env = env
         self.metrics = metrics or MetricRegistry()
+        self.backend_spec = backend_spec
         self.server = OriginServer(site, ttl_policy=ttl_policy)
         self.sketch = ServerCacheSketch(
             capacity=sketch_capacity, target_fpr=sketch_target_fpr
         )
-        self.cdn = Cdn(pop_names or ["edge-1"], metrics=self.metrics)
+        self.cdn = Cdn(
+            pop_names or ["edge-1"],
+            metrics=self.metrics,
+            backend_spec=backend_spec,
+        )
         self.pipeline = InvalidationPipeline(
             env,
             self.server,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.http.messages import Request
+from repro.storage import BackendSpec
 
 
 @dataclass
@@ -59,6 +60,9 @@ class SpeedKitConfig:
     #: Service worker cache bounds.
     sw_cache_max_entries: Optional[int] = None
     sw_cache_max_bytes: Optional[int] = 50_000_000
+    #: Storage engine the service worker cache stores entries in
+    #: (the polyglot backend axis; see :mod:`repro.storage`).
+    backend: BackendSpec = field(default_factory=BackendSpec)
     #: Refresh the sketch eagerly on navigation in addition to the
     #: periodic background refresh.
     refresh_on_navigation: bool = True
@@ -78,6 +82,7 @@ class SpeedKitConfig:
                 "sketch_refresh_interval must be positive, got "
                 f"{self.sketch_refresh_interval}"
             )
+        self.backend = BackendSpec.parse(self.backend)
 
     def _matches_any(self, path: str, patterns: Sequence[str]) -> bool:
         return any(fnmatch.fnmatch(path, pattern) for pattern in patterns)
@@ -98,6 +103,7 @@ class SpeedKitConfig:
             "user_personalized": list(self.user_personalized),
             "sw_cache_max_entries": self.sw_cache_max_entries,
             "sw_cache_max_bytes": self.sw_cache_max_bytes,
+            "backend": self.backend.to_dict(),
             "refresh_on_navigation": self.refresh_on_navigation,
             "offline_mode": self.offline_mode,
             "stale_while_revalidate": self.stale_while_revalidate,
@@ -117,6 +123,7 @@ class SpeedKitConfig:
             "user_personalized",
             "sw_cache_max_entries",
             "sw_cache_max_bytes",
+            "backend",
             "refresh_on_navigation",
             "offline_mode",
             "stale_while_revalidate",

@@ -77,6 +77,7 @@ class ServiceWorkerProxy:
                 shared=False,
                 max_entries=config.sw_cache_max_entries,
                 max_bytes=config.sw_cache_max_bytes,
+                backend=config.backend.build(salt=f"sw:{node}"),
             ),
             metrics=self.metrics,
         )
@@ -95,6 +96,12 @@ class ServiceWorkerProxy:
 
     def _count(self, which: str) -> None:
         self.metrics.counter(f"speedkit.{self.node}.{which}").inc()
+
+    def _charge_cache_latency(self) -> Generator:
+        """Convert accrued SW-cache engine latency into simulated time."""
+        lag = self.cache.store.drain_latency()
+        if lag > 0:
+            yield self.transport.env.timeout(lag)
 
     # -- navigation hook -----------------------------------------------------
 
@@ -206,6 +213,7 @@ class ServiceWorkerProxy:
 
         key = scrubbed.url.cache_key()
         cached = self.cache.serve_even_stale(scrubbed, self._now)
+        yield from self._charge_cache_latency()
         decision = decide(key, cached, sketch, self._now)
 
         if decision is ReadDecision.SERVE_FROM_CACHE and sketch is None:
@@ -248,7 +256,9 @@ class ServiceWorkerProxy:
             self.config.offline_mode
         ):
             return self._serve_offline(cached)
-        return self.cache.admit(scrubbed, response, self._now)
+        admitted = self.cache.admit(scrubbed, response, self._now)
+        yield from self._charge_cache_latency()
+        return admitted
 
     def _serve_offline(self, cached: Response) -> Response:
         """Answer from cache during an outage.
@@ -290,6 +300,7 @@ class ServiceWorkerProxy:
         )
         if response.status == Status.NOT_MODIFIED:
             refreshed = self.cache.refresh(scrubbed, response, self._now)
+            yield from self._charge_cache_latency()
             if refreshed is not None:
                 return refreshed
             response = yield from self.transport.fetch_via_cdn(
@@ -299,7 +310,9 @@ class ServiceWorkerProxy:
             # Origin down: keep answering from the device (the paper's
             # offline-resilience story).
             return self._serve_offline(cached)
-        return self.cache.admit(scrubbed, response, self._now)
+        admitted = self.cache.admit(scrubbed, response, self._now)
+        yield from self._charge_cache_latency()
+        return admitted
 
     def _background_revalidate(
         self, scrubbed: Request, cached: Response

@@ -1,0 +1,44 @@
+"""Pluggable storage engines: the polyglot backend layer.
+
+The paper's title claim is a *polyglot* caching architecture — Orestes
+fronts MongoDB/Redis behind one uniform caching interface. This
+package makes backend choice a real, swappable axis of the
+reproduction: every cache tier (CDN edge PoPs, the browser HTTP cache,
+the service worker cache) and the origin document store hold their
+entries in a :class:`CacheBackend` engine chosen by configuration.
+
+Engines implement pure keyed storage (``get/put/remove/scan/len/
+bytes``) plus explicit eviction hooks; all HTTP freshness and eviction
+*policy* stays in :class:`repro.cdn.cache.CacheStore`, the policy layer
+above the protocol. Shipped engines:
+
+* :class:`InMemoryBackend` — the classic single ``OrderedDict`` map;
+* :class:`ShardedBackend` — N hash-partitioned sub-engines with
+  optional per-shard capacity (concurrent-map semantics);
+* :class:`SimulatedRemoteBackend` — a Redis-like remote KV store whose
+  per-operation latency is drawn from a ``simnet``-style distribution,
+  so backend cost shows up in PLT and invalidation latency.
+
+:class:`BackendSpec` is the serializable selection record threaded
+through ``SpeedKitConfig``, ``ScenarioSpec``, and the CLI
+(``--backend inmemory|sharded|remote``).
+"""
+
+from repro.storage.backend import (
+    CacheBackend,
+    EvictionListener,
+    InMemoryBackend,
+)
+from repro.storage.factory import BACKEND_KINDS, BackendSpec
+from repro.storage.remote import SimulatedRemoteBackend
+from repro.storage.sharded import ShardedBackend
+
+__all__ = [
+    "BACKEND_KINDS",
+    "BackendSpec",
+    "CacheBackend",
+    "EvictionListener",
+    "InMemoryBackend",
+    "ShardedBackend",
+    "SimulatedRemoteBackend",
+]

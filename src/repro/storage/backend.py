@@ -1,0 +1,150 @@
+"""The storage-engine protocol and the classic in-memory engine.
+
+A :class:`CacheBackend` is pure keyed storage: it maps string keys to
+opaque values with a caller-declared size, and knows nothing about
+HTTP, freshness, or eviction *policy* — that lives in the layers above
+(:class:`repro.cdn.cache.CacheStore` for caches,
+:class:`repro.origin.store.DocumentStore` for the origin).
+
+Two protocol rules every engine must honor:
+
+1. **Eviction hooks.** An engine that drops entries on its own
+   initiative (e.g. per-shard capacity in the sharded engine) MUST
+   announce every such drop through :meth:`_notify_eviction`, so the
+   policy layer's bookkeeping (recency order, byte counters, metric
+   counters) stays consistent. API-level :meth:`remove` calls are the
+   caller's own doing and are never announced.
+2. **Latency accrual.** Engines with a simulated operation cost accrue
+   it in an internal pending pool; the transport layer periodically
+   calls :meth:`drain_latency` and converts the pool into simulated
+   time. Local engines always report zero. :meth:`peek` is metadata
+   access for the co-located policy layer and must never accrue cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+#: Called with ``(key, value)`` for every engine-initiated drop.
+EvictionListener = Callable[[str, Any], None]
+
+
+class CacheBackend(ABC):
+    """Uniform keyed-storage protocol behind every cache tier."""
+
+    #: Engine identifier (matches the ``BackendSpec.kind`` registry).
+    kind: str = "abstract"
+
+    def __init__(self) -> None:
+        self._eviction_listeners: List[EvictionListener] = []
+
+    # -- eviction hooks ---------------------------------------------------
+
+    def subscribe_evictions(self, listener: EvictionListener) -> None:
+        """Register a listener for engine-initiated drops."""
+        self._eviction_listeners.append(listener)
+
+    def _notify_eviction(self, key: str, value: Any) -> None:
+        for listener in list(self._eviction_listeners):
+            listener(key, value)
+
+    # -- the storage protocol ---------------------------------------------
+
+    @abstractmethod
+    def get(self, key: str) -> Optional[Any]:
+        """The stored value, or ``None`` (a full, cost-bearing read)."""
+
+    @abstractmethod
+    def put(self, key: str, value: Any, size: int = 0) -> None:
+        """Store (or replace) a value; ``size`` feeds byte accounting."""
+
+    @abstractmethod
+    def remove(self, key: str) -> Optional[Any]:
+        """Drop a key; returns the removed value or ``None``."""
+
+    @abstractmethod
+    def scan(self, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+        """Iterate ``(key, value)`` pairs whose key starts with ``prefix``."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries."""
+
+    @property
+    @abstractmethod
+    def bytes_used(self) -> int:
+        """Sum of the declared sizes of all stored entries."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop everything (not announced as evictions)."""
+
+    # -- derived helpers --------------------------------------------------
+
+    def peek(self, key: str) -> Optional[Any]:
+        """Cost-free metadata access for the co-located policy layer."""
+        return self.get(key)
+
+    def keys(self) -> List[str]:
+        return [key for key, _ in self.scan()]
+
+    def __contains__(self, key: str) -> bool:
+        return self.peek(key) is not None
+
+    # -- simulated operation cost -----------------------------------------
+
+    def pending_latency(self) -> float:
+        """Accrued, not-yet-drained simulated latency in seconds."""
+        return 0.0
+
+    def drain_latency(self) -> float:
+        """Return and reset the accrued latency (transport converts it
+        into simulated time)."""
+        return 0.0
+
+
+class InMemoryBackend(CacheBackend):
+    """The classic engine: one insertion-ordered in-process map."""
+
+    kind = "inmemory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._slots: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        slot = self._slots.get(key)
+        return slot[0] if slot is not None else None
+
+    def put(self, key: str, value: Any, size: int = 0) -> None:
+        old = self._slots.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._slots[key] = (value, size)
+        self._bytes += size
+
+    def remove(self, key: str) -> Optional[Any]:
+        slot = self._slots.pop(key, None)
+        if slot is None:
+            return None
+        self._bytes -= slot[1]
+        return slot[0]
+
+    def scan(self, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+        for key, (value, _) in list(self._slots.items()):
+            if key.startswith(prefix):
+                yield key, value
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def clear(self) -> None:
+        self._slots.clear()
+        self._bytes = 0

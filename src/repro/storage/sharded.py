@@ -1,0 +1,132 @@
+"""Hash-partitioned engine: N sub-backends with per-shard capacity.
+
+Models a concurrent-map / partitioned-store backend: keys are routed
+to one of ``n_shards`` sub-engines by a stable hash (CRC-32, so shard
+placement survives process restarts and Python hash randomization).
+Optional per-shard capacity bounds give every partition its own
+admission limit — when a shard overflows, the engine drops its oldest
+resident entry and announces the drop through the eviction hook, which
+is how the policy layer above learns about engine-initiated evictions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.storage.backend import CacheBackend, InMemoryBackend
+
+
+def shard_index_of(key: str, n_shards: int) -> int:
+    """Stable shard routing shared by the engine and its tests."""
+    return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+class ShardedBackend(CacheBackend):
+    """N hash-partitioned sub-engines behind one backend interface."""
+
+    kind = "sharded"
+
+    def __init__(
+        self,
+        n_shards: int = 8,
+        shard_factory: Optional[Callable[[], CacheBackend]] = None,
+        max_entries_per_shard: Optional[int] = None,
+        max_bytes_per_shard: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1: {n_shards}")
+        if max_entries_per_shard is not None and max_entries_per_shard <= 0:
+            raise ValueError(
+                f"max_entries_per_shard must be positive: "
+                f"{max_entries_per_shard}"
+            )
+        if max_bytes_per_shard is not None and max_bytes_per_shard <= 0:
+            raise ValueError(
+                f"max_bytes_per_shard must be positive: {max_bytes_per_shard}"
+            )
+        self.n_shards = n_shards
+        self.max_entries_per_shard = max_entries_per_shard
+        self.max_bytes_per_shard = max_bytes_per_shard
+        factory = shard_factory or InMemoryBackend
+        self.shards: List[CacheBackend] = [factory() for _ in range(n_shards)]
+        for shard in self.shards:
+            # Forward drops a sub-engine initiates on its own.
+            shard.subscribe_evictions(self._notify_eviction)
+
+    # -- routing ----------------------------------------------------------
+
+    def shard_index(self, key: str) -> int:
+        return shard_index_of(key, self.n_shards)
+
+    def shard_of(self, key: str) -> CacheBackend:
+        return self.shards[self.shard_index(key)]
+
+    # -- the storage protocol ---------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        return self.shard_of(key).get(key)
+
+    def peek(self, key: str) -> Optional[Any]:
+        return self.shard_of(key).peek(key)
+
+    def put(self, key: str, value: Any, size: int = 0) -> None:
+        shard = self.shard_of(key)
+        shard.put(key, value, size)
+        self._enforce_shard_capacity(shard, protect=key)
+
+    def remove(self, key: str) -> Optional[Any]:
+        return self.shard_of(key).remove(key)
+
+    def scan(self, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+        # A prefix scan must visit ALL shards: hash routing scatters
+        # keys sharing a prefix across the whole partition set.
+        return itertools.chain.from_iterable(
+            shard.scan(prefix) for shard in self.shards
+        )
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def bytes_used(self) -> int:
+        return sum(shard.bytes_used for shard in self.shards)
+
+    def clear(self) -> None:
+        for shard in self.shards:
+            shard.clear()
+
+    # -- per-shard capacity -----------------------------------------------
+
+    def _over_capacity(self, shard: CacheBackend) -> bool:
+        if self.max_entries_per_shard is not None and (
+            len(shard) > self.max_entries_per_shard
+        ):
+            return True
+        if self.max_bytes_per_shard is not None and (
+            shard.bytes_used > self.max_bytes_per_shard
+        ):
+            return True
+        return False
+
+    def _enforce_shard_capacity(
+        self, shard: CacheBackend, protect: str
+    ) -> None:
+        while self._over_capacity(shard):
+            victim = next(
+                (key for key, _ in shard.scan() if key != protect), None
+            )
+            if victim is None:
+                # The protected entry alone exceeds the shard: keep it
+                # (same no-thrash rule as the policy layer).
+                break
+            value = shard.remove(victim)
+            self._notify_eviction(victim, value)
+
+    # -- diagnostics ------------------------------------------------------
+
+    def shard_sizes(self) -> List[int]:
+        """Entry count per shard (distribution diagnostics)."""
+        return [len(shard) for shard in self.shards]

@@ -39,7 +39,7 @@ SIZES = {
 SHARED_ASSETS = ("bundle.js", "style.css", "masthead.png")
 
 
-def build_media_site(catalog: Catalog) -> Site:
+def build_media_site(catalog: Catalog, store_backend=None) -> Site:
     """A news site whose "articles" are the catalog's products.
 
     The catalog abstraction carries over directly: ``product_id`` is
@@ -47,7 +47,9 @@ def build_media_site(catalog: Catalog) -> Site:
     relevance score the home page ranks by. Background
     :class:`ProductUpdate` events become article edits.
     """
-    site = Site()
+    from repro.origin.store import DocumentStore
+
+    site = Site(store=DocumentStore(backend=store_backend))
     site.add_route(
         ResourceSpec(
             name="article-image",

@@ -25,9 +25,15 @@ SIZES = {
 }
 
 
-def build_ecommerce_site(catalog: Catalog) -> Site:
-    """A complete shop site backed by the generated catalog."""
-    site = Site()
+def build_ecommerce_site(catalog: Catalog, store_backend=None) -> Site:
+    """A complete shop site backed by the generated catalog.
+
+    ``store_backend`` injects a :mod:`repro.storage` engine for the
+    document store (the polyglot-backend axis of the origin tier).
+    """
+    from repro.origin.store import DocumentStore
+
+    site = Site(store=DocumentStore(backend=store_backend))
 
     site.add_route(
         ResourceSpec(

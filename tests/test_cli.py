@@ -16,6 +16,28 @@ def test_run_prints_summary(capsys):
     assert "Hit ratio by content type" in out
 
 
+@pytest.mark.parametrize("backend", ["inmemory", "sharded", "remote"])
+def test_run_with_backend(capsys, backend):
+    code = main(
+        ["run", "--scenario", "speed-kit", "--backend", backend] + QUICK
+    )
+    assert code == 0
+    assert "Run summary" in capsys.readouterr().out
+
+
+def test_sweep_delta_with_backend(capsys):
+    code = main(
+        ["sweep-delta", "--deltas", "60", "--backend", "sharded"] + QUICK
+    )
+    assert code == 0
+    assert "Δ sweep" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["run", "--backend", "warp-drive"] + QUICK)
+
+
 def test_run_rejects_unknown_scenario():
     with pytest.raises(SystemExit):
         main(["run", "--scenario", "warp-drive"])
