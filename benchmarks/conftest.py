@@ -7,6 +7,7 @@ simulation more than necessary; each printed table is also written to
 ``benchmarks/results/`` so the reproduced numbers survive the run.
 """
 
+import os
 import random
 from pathlib import Path
 
@@ -24,9 +25,14 @@ from repro.workload import (
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Smoke mode (CI): a shorter workload keeps every experiment's
+#: qualitative assertions intact while the whole suite fits in a
+#: pull-request pipeline.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 #: The standard evaluation workload: one hour of shop traffic.
 STANDARD_WORKLOAD = WorkloadConfig(
-    duration=3600.0,
+    duration=1200.0 if SMOKE else 3600.0,
     session_rate=0.25,
     mean_session_length=5.0,
     think_time_mean=10.0,
@@ -65,6 +71,7 @@ def run_cached(workload):
             spec.n_segments,
             spec.seed,
             spec.backend,
+            spec.batch_waves,
         )
         if key not in cache:
             cache[key] = SimulationRunner(

@@ -1,0 +1,129 @@
+"""E18 — Batched storage protocol: round-trip amortization and overlap.
+
+Compares three remote-KV configurations at **identical per-operation
+latency medians** — the serialized engine (one round trip per op), the
+batched engine (one round trip plus a per-key marginal per flushed
+batch), and the batched engine with overlap (accrued storage latency
+hides under concurrent network transit):
+
+* **Invalidation fan-out** (Speed Kit): a write expands to every
+  cached segment variant, and each PoP receives the whole key list as
+  one batched removal — purge completion must drop from N round trips
+  toward one.
+* **Multi-asset page loads** (classic CDN with wave multiplexing): a
+  page-load wave travels as one edge lookup, so the edge pays one
+  batched read instead of one round trip per asset — PLT must improve,
+  and overlap must improve it further.
+* **Cacheability is engine-independent**: hit ratios must agree across
+  all three configurations — the protocol changes *when* latency is
+  paid, never *what* is cached.
+"""
+
+import pytest
+
+from repro.harness import Scenario, ScenarioSpec, format_table
+from repro.storage import BackendSpec
+
+from benchmarks.conftest import emit
+
+#: Identical medians everywhere: only the round-trip count differs.
+ENGINES = {
+    "remote": BackendSpec(kind="remote", seed=1),
+    "batched": BackendSpec(kind="batched", seed=1),
+    "batched+overlap": BackendSpec(kind="batched", overlap=True, seed=1),
+}
+
+
+@pytest.fixture(scope="module")
+def speedkit_results(run_cached):
+    return {
+        name: run_cached(
+            ScenarioSpec(scenario=Scenario.SPEED_KIT, backend=spec)
+        )
+        for name, spec in ENGINES.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def cdn_results(run_cached):
+    return {
+        name: run_cached(
+            ScenarioSpec(
+                scenario=Scenario.CLASSIC_CDN,
+                backend=spec,
+                batch_waves=True,
+            )
+        )
+        for name, spec in ENGINES.items()
+    }
+
+
+def test_bench_e18_batching_comparison(
+    speedkit_results, cdn_results, benchmark
+):
+    rows = []
+    for name in ENGINES:
+        sk = speedkit_results[name]
+        cdn = cdn_results[name]
+        purge = sk.metrics.histogram("invalidation.purge_latency")
+        rows.append(
+            {
+                "engine": name,
+                "purge_p50_ms": round(purge.percentile(50) * 1000, 2),
+                "purge_p95_ms": round(purge.percentile(95) * 1000, 2),
+                "sk_hit_ratio": round(sk.cache_hit_ratio(), 3),
+                "cdn_plt_p50_ms": round(cdn.plt.percentile(50) * 1000, 1),
+                "cdn_plt_p95_ms": round(cdn.plt.percentile(95) * 1000, 1),
+                "cdn_hit_ratio": round(cdn.cache_hit_ratio(), 3),
+            }
+        )
+    emit(
+        "e18_batching",
+        format_table(
+            rows,
+            title="E18: serialized vs batched vs batched+overlap "
+            "(equal per-op medians)",
+        ),
+    )
+
+    serialized = speedkit_results["remote"]
+    batched = speedkit_results["batched"]
+    overlap = speedkit_results["batched+overlap"]
+
+    # Invalidation fan-out: the batched purge pays ~one round trip per
+    # PoP for the whole variant list instead of one per key.
+    ser_purge = serialized.metrics.histogram("invalidation.purge_latency")
+    bat_purge = batched.metrics.histogram("invalidation.purge_latency")
+    assert bat_purge.percentile(50) < ser_purge.percentile(50)
+    assert bat_purge.percentile(95) < ser_purge.percentile(95)
+
+    # Cacheability is protocol-independent: same hits, same origin load.
+    for result in (batched, overlap):
+        assert result.cache_hit_ratio() == pytest.approx(
+            serialized.cache_hit_ratio(), abs=0.02
+        )
+    # The Δ-atomicity guarantee survives the protocol change.
+    for result in speedkit_results.values():
+        assert result.delta_violations == 0
+
+    # Multi-asset page loads: one batched edge lookup per wave beats a
+    # round trip per asset; overlapping it under the return transfer is
+    # at least as fast again.
+    ser_cdn = cdn_results["remote"]
+    bat_cdn = cdn_results["batched"]
+    ovl_cdn = cdn_results["batched+overlap"]
+    assert bat_cdn.plt.percentile(50) < ser_cdn.plt.percentile(50)
+    assert ovl_cdn.plt.percentile(50) <= bat_cdn.plt.percentile(50)
+    assert ovl_cdn.plt.percentile(95) <= ser_cdn.plt.percentile(95)
+    for result in (bat_cdn, ovl_cdn):
+        assert result.cache_hit_ratio() == pytest.approx(
+            ser_cdn.cache_hit_ratio(), abs=0.02
+        )
+
+    benchmark.pedantic(
+        lambda: [
+            speedkit_results[name].cache_hit_ratio() for name in ENGINES
+        ],
+        rounds=5,
+        iterations=10,
+    )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, List, Optional, Sequence
 
 from repro.browser.transport import Transport
 from repro.http.messages import Request
@@ -44,6 +44,32 @@ class CookieJarFetcher:
             )
         response = yield from self.inner.fetch(outgoing)
         return response
+
+    def _with_cookie(self, request: Request) -> Request:
+        if self.user_id is not None and "Cookie" not in request.headers:
+            return request.with_header("Cookie", f"session={self.user_id}")
+        return request
+
+    def fetch_many(self, requests: Sequence[Request]) -> Generator:
+        """Batched fetch with cookies attached to every request.
+
+        Defined explicitly (not via ``__getattr__`` delegation) so the
+        cookie is attached *before* the batch reaches the inner
+        fetcher. Falls back to parallel single fetches when the inner
+        fetcher has no batched path.
+        """
+        outgoing = [self._with_cookie(request) for request in requests]
+        inner_many = getattr(self.inner, "fetch_many", None)
+        if inner_many is not None:
+            responses = yield from inner_many(outgoing)
+            return responses
+        env = self.inner.transport.env
+        processes = [
+            env.process(self.inner.fetch(request)) for request in outgoing
+        ]
+        done = yield env.all_of(processes)
+        responses: List = [done[process] for process in processes]
+        return responses
 
     def __getattr__(self, name: str):
         # Delegate everything else (cache, metrics, on_navigate, ...).

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Generator, Optional, Protocol
+from typing import Generator, List, Optional, Protocol, Sequence
 
 from repro.browser.cache import BrowserCache
 from repro.cdn.network import Cdn
@@ -113,3 +113,50 @@ class BrowserClient:
         admitted = self.cache.admit(request, response, self.transport.env.now)
         yield from self._charge_cache_latency()
         return admitted
+
+    def fetch_many(self, requests: Sequence[Request]) -> Generator:
+        """Resolve a wave of requests as one multi-asset lookup.
+
+        Browser-cache hits are answered locally; in CDN mode the
+        remaining plain fetches travel together through
+        :meth:`Transport.fetch_many_via_cdn` (one edge round trip, one
+        batched PoP lookup). Requests that need individual handling —
+        unsafe methods, conditional revalidations — and every request
+        in direct mode run as parallel single fetches, which matches
+        the page load engine's own wave parallelism. Responses come
+        back in request order.
+        """
+        env = self.transport.env
+        responses: List[Optional[Response]] = [None] * len(requests)
+        batched: List[int] = []
+        singles = {}
+        for index, request in enumerate(requests):
+            if self.mode is not TransportMode.CDN:
+                singles[index] = env.process(self.fetch(request))
+                continue
+            if not request.method.is_safe:
+                singles[index] = env.process(self.fetch(request))
+                continue
+            cached = self.cache.serve(request, env.now)
+            if cached is not None:
+                responses[index] = cached
+                continue
+            if self.cache.revalidation_base(request, env.now) is not None:
+                singles[index] = env.process(self.fetch(request))
+                continue
+            batched.append(index)
+        yield from self._charge_cache_latency()
+        if batched:
+            fetched = yield from self.transport.fetch_many_via_cdn(
+                self.node, [requests[index] for index in batched], self.cdn
+            )
+            for index, response in zip(batched, fetched):
+                responses[index] = self.cache.admit(
+                    requests[index], response, env.now
+                )
+            yield from self._charge_cache_latency()
+        if singles:
+            done = yield env.all_of(list(singles.values()))
+            for index, process in singles.items():
+                responses[index] = done[process]
+        return responses

@@ -87,6 +87,12 @@ class PageLoadEngine:
 
     ``max_parallel`` models the browser's per-host connection limit;
     within a wave at most that many fetches are in flight at once.
+
+    With ``batch_waves`` each slot of a wave travels as one multi-asset
+    lookup through the fetcher's ``fetch_many`` (HTTP/2-style
+    multiplexing: one edge round trip, one batched cache read) instead
+    of ``max_parallel`` independent connections. Fetchers without a
+    batched path fall back to parallel single fetches.
     """
 
     def __init__(
@@ -94,12 +100,14 @@ class PageLoadEngine:
         env: Environment,
         fetcher,
         max_parallel: int = 6,
+        batch_waves: bool = False,
     ) -> None:
         if max_parallel < 1:
             raise ValueError(f"max_parallel must be >= 1: {max_parallel}")
         self.env = env
         self.fetcher = fetcher
         self.max_parallel = max_parallel
+        self.batch_waves = batch_waves
 
     def load(
         self, page: PageSpec, headers: Optional[dict] = None
@@ -135,22 +143,33 @@ class PageLoadEngine:
 
         pending = list(wave)
         responses: List[Tuple[int, Response]] = []
+        fetch_many = (
+            getattr(self.fetcher, "fetch_many", None)
+            if self.batch_waves
+            else None
+        )
         # Launch in slots of max_parallel: a simple but faithful model
         # of the browser's connection pool (slots refill as a batch).
         index = 0
         while index < len(pending):
             batch = pending[index : index + self.max_parallel]
-            processes = []
-            for offset, resource in enumerate(batch):
-                request = Request.get(
-                    resource.url, headers=Headers(headers or {})
-                )
-                processes.append(
+            requests = [
+                Request.get(resource.url, headers=Headers(headers or {}))
+                for resource in batch
+            ]
+            if fetch_many is not None:
+                # One multiplexed lookup for the whole slot.
+                batch_responses = yield from fetch_many(requests)
+                for offset, response in enumerate(batch_responses):
+                    responses.append((index + offset, response))
+            else:
+                processes = [
                     self.env.process(self.fetcher.fetch(request))
-                )
-            done = yield self.env.all_of(processes)
-            for offset, process in enumerate(processes):
-                responses.append((index + offset, done[process]))
+                    for request in requests
+                ]
+                done = yield self.env.all_of(processes)
+                for offset, process in enumerate(processes):
+                    responses.append((index + offset, done[process]))
             index += len(batch)
         responses.sort(key=lambda pair: pair[0])
         return [response for _, response in responses]

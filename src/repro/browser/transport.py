@@ -9,7 +9,7 @@ invoked synchronously at the simulated instant the message arrives.
 from __future__ import annotations
 
 import random
-from typing import Generator, Optional
+from typing import Generator, List, Optional, Sequence
 
 from repro.cdn.edge import EdgeCache
 from repro.cdn.network import Cdn
@@ -69,16 +69,21 @@ class Transport:
         site = getattr(self.origin_server, "site", None)
         return getattr(site, "store", None)
 
-    def _charge_store_latency(self, store) -> Generator:
+    def _charge_store_latency(
+        self, store, concurrent: float = 0.0
+    ) -> Generator:
         """Convert a store's accrued engine latency into simulated time.
 
         Caches and the origin document store are synchronous; when
         their storage engine is a simulated remote KV, the per-op cost
         accrues inside the engine and is drained here, at the node that
-        performed the operations.
+        performed the operations. ``concurrent`` is the network transit
+        the caller pays right after this drain point — overlap-capable
+        engines clip their pool against it (pipelining storage round
+        trips under the transfer), serialized engines add in full.
         """
         drain = getattr(store, "drain_latency", None) if store else None
-        lag = drain() if drain is not None else 0.0
+        lag = drain(concurrent) if drain is not None else 0.0
         if lag > 0:
             yield self.env.timeout(lag)
 
@@ -108,12 +113,18 @@ class Transport:
             self.topology.one_way(client_node, self.origin_node, self.rng)
         )
         response = self._origin_handle(request)
-        yield from self._charge_store_latency(self._origin_store)
         self._count_bytes("origin_egress", response)
         link = self.topology.link(client_node, self.origin_node)
-        yield self.env.timeout(
-            link.one_way(self.rng) + link.transfer_time(_content_length(response))
+        transit = link.one_way(self.rng) + link.transfer_time(
+            _content_length(response)
         )
+        # Store latency may overlap with the response transit: the
+        # origin's storage round trips and the return leg run
+        # concurrently for a pipelining engine.
+        yield from self._charge_store_latency(
+            self._origin_store, concurrent=transit
+        )
+        yield self.env.timeout(transit)
         return response
 
     # -- CDN path --------------------------------------------------------------
@@ -142,30 +153,106 @@ class Transport:
                 response = yield from self._fill_from_origin(
                     edge_name, edge, request
                 )
-        yield from self._charge_store_latency(edge.store)
         # Honor the client's validators at the edge: a matching ETag
         # turns the answer into a (cheap to transfer) 304.
         if response.status == Status.OK and revalidates(request, response):
             response = make_not_modified(response, at=response.generated_at)
         self._count_bytes("edge_egress", response)
         client_link = self.topology.link(client_node, edge_name)
-        yield self.env.timeout(
-            client_link.one_way(self.rng)
-            + client_link.transfer_time(_content_length(response))
+        transit = client_link.one_way(self.rng) + client_link.transfer_time(
+            _content_length(response)
         )
+        # Edge storage round trips may pipeline under the client leg.
+        yield from self._charge_store_latency(edge.store, concurrent=transit)
+        yield self.env.timeout(transit)
         return response
+
+    def fetch_many_via_cdn(
+        self,
+        client_node: str,
+        requests: Sequence[Request],
+        cdn: Cdn,
+        edge_name: Optional[str] = None,
+    ) -> Generator:
+        """Multi-asset lookup: one edge round trip for a whole wave.
+
+        Models HTTP/2-style multiplexing to the nearest PoP: the
+        requests travel together on one client → edge leg, the edge
+        looks all of them up in a single batched store read (one
+        pipelined round trip on a batched engine), misses fill from the
+        origin in parallel, and the responses share one return leg
+        whose transfer time covers their combined payload. Returns the
+        responses in request order.
+        """
+        if not requests:
+            return []
+        if edge_name is None:
+            edge_name = self.topology.nearest_edge(client_node, self.rng)
+        edge = cdn.pop(edge_name)
+        yield self.env.timeout(
+            self.topology.one_way(client_node, edge_name, self.rng)
+        )
+        responses: List[Optional[Response]] = [None] * len(requests)
+        lookup = [
+            index
+            for index, request in enumerate(requests)
+            if not edge.should_pass(request)
+        ]
+        served = edge.serve_many(
+            [requests[index] for index in lookup], self.env.now
+        )
+        fills = {}
+        for index, request in enumerate(requests):
+            if index not in lookup:
+                # Credentialed request: relay without cache interaction.
+                fills[index] = self.env.process(
+                    self._relay_to_origin(edge_name, request)
+                )
+        for index, response in zip(lookup, served):
+            if response is not None:
+                responses[index] = response
+            else:
+                fills[index] = self.env.process(
+                    self._fill_from_origin(edge_name, edge, requests[index])
+                )
+        if fills:
+            done = yield self.env.all_of(list(fills.values()))
+            for index, process in fills.items():
+                responses[index] = done[process]
+        total_length = 0
+        for index, response in enumerate(responses):
+            if response.status == Status.OK and revalidates(
+                requests[index], response
+            ):
+                response = make_not_modified(
+                    response, at=response.generated_at
+                )
+                responses[index] = response
+            self._count_bytes("edge_egress", response)
+            total_length += _content_length(response)
+        client_link = self.topology.link(client_node, edge_name)
+        transit = client_link.one_way(self.rng) + client_link.transfer_time(
+            total_length
+        )
+        # The batched edge lookup drains once for the whole wave,
+        # overlapping with the shared return leg where the engine can.
+        yield from self._charge_store_latency(edge.store, concurrent=transit)
+        yield self.env.timeout(transit)
+        return responses
 
     def _relay_to_origin(self, edge_name: str, request: Request) -> Generator:
         """Edge-to-origin round trip with no cache involvement."""
         origin_link = self.topology.link(edge_name, self.origin_node)
         yield self.env.timeout(origin_link.one_way(self.rng))
         response = self._origin_handle(request)
-        yield from self._charge_store_latency(self._origin_store)
         self._count_bytes("origin_egress", response)
-        yield self.env.timeout(
-            origin_link.one_way(self.rng)
-            + origin_link.transfer_time(_content_length(response))
+        transit = origin_link.one_way(self.rng) + origin_link.transfer_time(
+            _content_length(response)
         )
+        yield from self._charge_store_latency(
+            self._origin_store, concurrent=transit
+        )
+        yield self.env.timeout(transit)
         return response
 
     def _fill_from_origin(
@@ -181,12 +268,14 @@ class Transport:
         origin_link = self.topology.link(edge_name, self.origin_node)
         yield self.env.timeout(origin_link.one_way(self.rng))
         upstream = self._origin_handle(upstream_request)
-        yield from self._charge_store_latency(self._origin_store)
         self._count_bytes("origin_egress", upstream)
-        yield self.env.timeout(
-            origin_link.one_way(self.rng)
-            + origin_link.transfer_time(_content_length(upstream))
+        transit = origin_link.one_way(self.rng) + origin_link.transfer_time(
+            _content_length(upstream)
         )
+        yield from self._charge_store_latency(
+            self._origin_store, concurrent=transit
+        )
+        yield self.env.timeout(transit)
         if upstream.status == Status.NOT_MODIFIED and base is not None:
             refreshed = edge.refresh(request, upstream, self.env.now)
             if refreshed is not None:
@@ -194,10 +283,12 @@ class Transport:
             # Entry vanished between lookup and refresh: full refetch.
             yield self.env.timeout(origin_link.one_way(self.rng))
             upstream = self._origin_handle(request)
-            yield from self._charge_store_latency(self._origin_store)
             self._count_bytes("origin_egress", upstream)
-            yield self.env.timeout(
-                origin_link.one_way(self.rng)
-                + origin_link.transfer_time(_content_length(upstream))
+            transit = origin_link.one_way(
+                self.rng
+            ) + origin_link.transfer_time(_content_length(upstream))
+            yield from self._charge_store_latency(
+                self._origin_store, concurrent=transit
             )
+            yield self.env.timeout(transit)
         return edge.admit(request, upstream, self.env.now)

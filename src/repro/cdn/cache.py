@@ -128,9 +128,14 @@ class CacheStore:
             if entry is not None:
                 yield entry
 
-    def drain_latency(self) -> float:
-        """Simulated backend latency accrued since the last drain."""
-        return self.backend.drain_latency()
+    def drain_latency(self, concurrent: float = 0.0) -> float:
+        """Simulated backend latency accrued since the last drain.
+
+        ``concurrent`` is network transit the caller pays at the same
+        drain point; overlap-capable engines clip against it (see
+        :meth:`repro.storage.backend.CacheBackend.drain_latency`).
+        """
+        return self.backend.drain_latency(concurrent)
 
     # -- core operations -----------------------------------------------------
 
@@ -182,6 +187,23 @@ class CacheStore:
         self._touch(key, entry)
         return entry
 
+    def get_fresh_many(
+        self, keys: List[str], now: float
+    ) -> Dict[str, CacheEntry]:
+        """Batched :meth:`get_fresh`: the fresh entries among ``keys``.
+
+        One backend ``get_many`` covers the whole lookup, so a batched
+        engine charges ~one round trip for a multi-asset page instead
+        of one per asset. Freshness filtering and hit bookkeeping stay
+        up here in the policy layer, exactly as for single lookups.
+        """
+        fresh: Dict[str, CacheEntry] = {}
+        for key, entry in self.backend.get_many(keys).items():
+            if is_fresh_at(entry.response, now, self.shared):
+                self._touch(key, entry)
+                fresh[key] = entry
+        return fresh
+
     def peek(self, key: str) -> Optional[CacheEntry]:
         """Look without touching recency or hit counters."""
         return self.backend.peek(key)
@@ -195,6 +217,21 @@ class CacheStore:
         if count_as_invalidation:
             self.invalidations += 1
         return True
+
+    def remove_many(
+        self, keys: List[str], count_as_invalidation: bool = True
+    ) -> int:
+        """Batched :meth:`remove`; returns how many entries existed.
+
+        The backend sees one ``remove_many`` — a batched engine turns a
+        fan-out purge's N deletions into ~one pipelined round trip.
+        """
+        removed = self.backend.remove_many(keys)
+        for key in removed:
+            self._forget(key)
+        if count_as_invalidation:
+            self.invalidations += len(removed)
+        return len(removed)
 
     def remove_prefix(self, prefix: str) -> int:
         """Drop all entries whose key starts with ``prefix``.

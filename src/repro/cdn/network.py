@@ -60,7 +60,18 @@ class Cdn:
         return sum(1 for pop in self.pops.values() if pop.purge(key))
 
     def purge_many(self, keys: List[str]) -> int:
-        return sum(self.purge(key) for key in keys)
+        """Purge many cache keys from every PoP in one batched pass.
+
+        Each PoP receives the whole key list as a single batched
+        removal, so a pipelined storage engine pays ~one round trip per
+        PoP for the entire fan-out instead of one per key. Returns the
+        total number of (key, PoP) purges that hit a stored entry, and
+        counts purge requests exactly as the per-key loop did.
+        """
+        if not keys:
+            return 0
+        self.metrics.counter("cdn.purge_requests").inc(len(keys))
+        return sum(pop.purge_many(keys) for pop in self.pops.values())
 
     def purge_prefix(self, prefix: str) -> int:
         self.metrics.counter("cdn.purge_requests").inc()

@@ -71,13 +71,38 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         default=8,
         help="shard count for --backend sharded",
     )
+    parser.add_argument(
+        "--batch-window",
+        type=_positive_int,
+        default=None,
+        help="max keys coalesced per round trip for --backend batched",
+    )
+    parser.add_argument(
+        "--overlap",
+        action="store_true",
+        help="pipeline batched-storage latency under network transit "
+        "(--backend batched only)",
+    )
+    parser.add_argument(
+        "--batch-waves",
+        action="store_true",
+        help="multiplex each page-load wave slot as one multi-asset "
+        "CDN lookup",
+    )
 
 
 def _backend_spec(args) -> Optional[BackendSpec]:
     if args.backend is None:
         return None
+    kwargs = {}
+    if args.batch_window is not None:
+        kwargs["batch_window"] = args.batch_window
     return BackendSpec(
-        kind=args.backend, n_shards=args.backend_shards, seed=args.seed
+        kind=args.backend,
+        n_shards=args.backend_shards,
+        seed=args.seed,
+        overlap=args.overlap,
+        **kwargs,
     )
 
 
@@ -117,6 +142,7 @@ def cmd_run(args) -> int:
         delta=args.delta,
         adaptive_ttl=args.adaptive_ttl,
         backend=_backend_spec(args),
+        batch_waves=args.batch_waves,
     )
     result = _run(spec, workload)
     if args.json:
@@ -146,6 +172,7 @@ def cmd_compare(args) -> int:
                     scenario=scenario,
                     delta=args.delta,
                     backend=_backend_spec(args),
+                    batch_waves=args.batch_waves,
                 ),
                 workload,
             )
@@ -181,6 +208,7 @@ def cmd_sweep_delta(args) -> int:
                 scenario=Scenario.SPEED_KIT,
                 delta=delta,
                 backend=_backend_spec(args),
+                batch_waves=args.batch_waves,
             ),
             workload,
         )
@@ -208,6 +236,7 @@ def cmd_sweep_segments(args) -> int:
                 scenario=Scenario.SPEED_KIT,
                 n_segments=n,
                 backend=_backend_spec(args),
+                batch_waves=args.batch_waves,
             ),
             workload,
         )
@@ -236,7 +265,9 @@ def cmd_report(args) -> int:
         results.append(
             _run(
                 ScenarioSpec(
-                    scenario=scenario, backend=_backend_spec(args)
+                    scenario=scenario,
+                    backend=_backend_spec(args),
+                    batch_waves=args.batch_waves,
                 ),
                 workload,
             )

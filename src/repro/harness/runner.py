@@ -361,7 +361,11 @@ class SimulationRunner:
     def _engine_for(self, user: User) -> PageLoadEngine:
         engine = self._engines.get(user.user_id)
         if engine is None:
-            engine = PageLoadEngine(self.env, self._stack_for(user))
+            engine = PageLoadEngine(
+                self.env,
+                self._stack_for(user),
+                batch_waves=self.spec.batch_waves,
+            )
             self._engines[user.user_id] = engine
         return engine
 

@@ -76,6 +76,9 @@ class ScenarioSpec:
     #: Storage engine for every cache tier and the origin store
     #: (``None`` keeps the classic in-memory engine everywhere).
     backend: Optional[BackendSpec] = None
+    #: Multiplex each page-load wave slot as one multi-asset lookup
+    #: (fetcher ``fetch_many``) instead of independent connections.
+    batch_waves: bool = False
     label: Optional[str] = None
 
     @property

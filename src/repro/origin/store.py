@@ -104,9 +104,13 @@ class DocumentStore:
     def backend(self) -> CacheBackend:
         return self._backend
 
-    def drain_latency(self) -> float:
-        """Simulated backend latency accrued since the last drain."""
-        return self._backend.drain_latency()
+    def drain_latency(self, concurrent: float = 0.0) -> float:
+        """Simulated backend latency accrued since the last drain.
+
+        ``concurrent`` is network transit paid at the same drain point;
+        overlap-capable engines clip the pool against it.
+        """
+        return self._backend.drain_latency(concurrent)
 
     def subscribe(self, listener: ChangeListener) -> None:
         """Register a listener called synchronously after each change."""

@@ -17,11 +17,16 @@ above the protocol. Shipped engines:
   optional per-shard capacity (concurrent-map semantics);
 * :class:`SimulatedRemoteBackend` — a Redis-like remote KV store whose
   per-operation latency is drawn from a ``simnet``-style distribution,
-  so backend cost shows up in PLT and invalidation latency.
+  so backend cost shows up in PLT and invalidation latency;
+* :class:`BatchedRemoteBackend` — the pipelined variant: multi-key
+  operations (``get_many``/``put_many``/``remove_many``) and coalesced
+  single-key calls are charged one round trip per flushed batch plus a
+  per-key marginal cost, and with ``overlap`` enabled the accrued
+  latency hides under concurrent network transit at the drain points.
 
 :class:`BackendSpec` is the serializable selection record threaded
 through ``SpeedKitConfig``, ``ScenarioSpec``, and the CLI
-(``--backend inmemory|sharded|remote``).
+(``--backend inmemory|sharded|remote|batched``).
 """
 
 from repro.storage.backend import (
@@ -29,6 +34,7 @@ from repro.storage.backend import (
     EvictionListener,
     InMemoryBackend,
 )
+from repro.storage.batched import BatchedRemoteBackend
 from repro.storage.factory import BACKEND_KINDS, BackendSpec
 from repro.storage.remote import SimulatedRemoteBackend
 from repro.storage.sharded import ShardedBackend
@@ -36,6 +42,7 @@ from repro.storage.sharded import ShardedBackend
 __all__ = [
     "BACKEND_KINDS",
     "BackendSpec",
+    "BatchedRemoteBackend",
     "CacheBackend",
     "EvictionListener",
     "InMemoryBackend",

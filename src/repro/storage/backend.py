@@ -19,13 +19,38 @@ Two protocol rules every engine must honor:
    calls :meth:`drain_latency` and converts the pool into simulated
    time. Local engines always report zero. :meth:`peek` is metadata
    access for the co-located policy layer and must never accrue cost.
+
+Two optional capabilities layered on top of the protocol:
+
+* **Batched operations.** :meth:`get_many` / :meth:`put_many` /
+  :meth:`remove_many` have default implementations that loop the
+  single-key calls, so every engine is automatically conformant;
+  engines with a real batched wire protocol (pipelined MGET/MSET)
+  override them to charge one round trip per batch instead of one per
+  key.
+* **Overlap draining.** :meth:`drain_latency` takes the network
+  transit time the caller is about to pay concurrently. Serialized
+  engines ignore it (storage cost adds to transit); overlap-capable
+  engines clip the pending pool against it, modeling a client that
+  pipelines storage round trips under the network transfer. Either
+  way one drain call empties the pool — latency is never drained
+  twice.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 #: Called with ``(key, value)`` for every engine-initiated drop.
 EvictionListener = Callable[[str, Any], None]
@@ -81,6 +106,36 @@ class CacheBackend(ABC):
     def clear(self) -> None:
         """Drop everything (not announced as evictions)."""
 
+    # -- batched operations ------------------------------------------------
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, Any]:
+        """Batched read: the stored values of the ``keys`` that exist.
+
+        The default loops :meth:`get` (one full, cost-bearing read per
+        key); batched engines override this to charge one round trip
+        plus a per-key marginal cost.
+        """
+        found: Dict[str, Any] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not None:
+                found[key] = value
+        return found
+
+    def put_many(self, items: Iterable[Tuple[str, Any, int]]) -> None:
+        """Batched write of ``(key, value, size)`` triples."""
+        for key, value, size in items:
+            self.put(key, value, size)
+
+    def remove_many(self, keys: Iterable[str]) -> Dict[str, Any]:
+        """Batched removal; returns the removed ``{key: value}`` map."""
+        removed: Dict[str, Any] = {}
+        for key in keys:
+            value = self.remove(key)
+            if value is not None:
+                removed[key] = value
+        return removed
+
     # -- derived helpers --------------------------------------------------
 
     def peek(self, key: str) -> Optional[Any]:
@@ -99,9 +154,16 @@ class CacheBackend(ABC):
         """Accrued, not-yet-drained simulated latency in seconds."""
         return 0.0
 
-    def drain_latency(self) -> float:
-        """Return and reset the accrued latency (transport converts it
-        into simulated time)."""
+    def drain_latency(self, concurrent: float = 0.0) -> float:
+        """Empty the pending pool and return the simulated time to pay.
+
+        ``concurrent`` is the network transit time the caller pays at
+        the same drain point. Serialized engines ignore it and return
+        the full pool (storage cost adds to transit); overlap-capable
+        engines return only the excess beyond ``concurrent``. The pool
+        is reset either way — accrued latency is drained exactly once,
+        whether it was paid or hidden under the transfer.
+        """
         return 0.0
 
 

@@ -17,6 +17,11 @@ from typing import Optional, Union
 
 from repro.simnet.delay import LogNormalDelay
 from repro.storage.backend import CacheBackend, InMemoryBackend
+from repro.storage.batched import (
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_PER_KEY_COST,
+    BatchedRemoteBackend,
+)
 from repro.storage.remote import (
     DEFAULT_READ_MEDIAN,
     DEFAULT_SIGMA,
@@ -26,7 +31,7 @@ from repro.storage.remote import (
 from repro.storage.sharded import ShardedBackend
 
 #: The engine registry, in CLI order.
-BACKEND_KINDS = ("inmemory", "sharded", "remote")
+BACKEND_KINDS = ("inmemory", "sharded", "remote", "batched")
 
 
 @dataclass(frozen=True)
@@ -38,12 +43,18 @@ class BackendSpec:
     n_shards: int = 8
     max_entries_per_shard: Optional[int] = None
     max_bytes_per_shard: Optional[int] = None
-    #: Remote engine: per-operation latency medians (seconds) and the
-    #: multiplicative spread of the log-normal draw.
+    #: Remote/batched engines: per-operation latency medians (seconds)
+    #: and the multiplicative spread of the log-normal draw.
     read_latency: float = DEFAULT_READ_MEDIAN
     write_latency: float = DEFAULT_WRITE_MEDIAN
     latency_sigma: float = DEFAULT_SIGMA
-    #: Root seed for the remote engine's latency stream.
+    #: Batched engine: marginal cost per pipelined key, maximum keys
+    #: per flushed batch, and whether drained latency may overlap with
+    #: concurrent network transit instead of adding to it.
+    per_key_cost: float = DEFAULT_PER_KEY_COST
+    batch_window: int = DEFAULT_BATCH_WINDOW
+    overlap: bool = False
+    #: Root seed for the remote/batched engine's latency stream.
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -56,6 +67,14 @@ class BackendSpec:
             raise ValueError(f"n_shards must be >= 1: {self.n_shards}")
         if self.read_latency <= 0 or self.write_latency <= 0:
             raise ValueError("backend latencies must be positive")
+        if self.per_key_cost < 0:
+            raise ValueError(
+                f"per_key_cost must be >= 0: {self.per_key_cost}"
+            )
+        if self.batch_window < 1:
+            raise ValueError(
+                f"batch_window must be >= 1: {self.batch_window}"
+            )
 
     def build(self, salt: str = "") -> CacheBackend:
         """A fresh engine instance.
@@ -76,13 +95,24 @@ class BackendSpec:
         rng = random.Random(
             self.seed ^ zlib.crc32(salt.encode("utf-8"))
         )
+        read_delay = LogNormalDelay(
+            median=self.read_latency, sigma=self.latency_sigma
+        )
+        write_delay = LogNormalDelay(
+            median=self.write_latency, sigma=self.latency_sigma
+        )
+        if self.kind == "batched":
+            return BatchedRemoteBackend(
+                read_delay=read_delay,
+                write_delay=write_delay,
+                per_key_cost=self.per_key_cost,
+                batch_window=self.batch_window,
+                overlap=self.overlap,
+                rng=rng,
+            )
         return SimulatedRemoteBackend(
-            read_delay=LogNormalDelay(
-                median=self.read_latency, sigma=self.latency_sigma
-            ),
-            write_delay=LogNormalDelay(
-                median=self.write_latency, sigma=self.latency_sigma
-            ),
+            read_delay=read_delay,
+            write_delay=write_delay,
             rng=rng,
         )
 

@@ -105,7 +105,9 @@ class SimulatedRemoteBackend(CacheBackend):
     def pending_latency(self) -> float:
         return self._pending
 
-    def drain_latency(self) -> float:
+    def drain_latency(self, concurrent: float = 0.0) -> float:
+        # Serialized semantics: every round trip is paid in full, on
+        # top of whatever network transit runs at the drain point.
         pending = self._pending
         self._pending = 0.0
         return pending

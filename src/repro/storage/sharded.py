@@ -13,7 +13,16 @@ from __future__ import annotations
 
 import itertools
 import zlib
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.storage.backend import CacheBackend, InMemoryBackend
 
@@ -87,6 +96,43 @@ class ShardedBackend(CacheBackend):
             shard.scan(prefix) for shard in self.shards
         )
 
+    # -- batched operations (scatter-gather across shards) -----------------
+
+    def _group_keys(self, keys: Iterable[str]) -> Dict[int, List[str]]:
+        grouped: Dict[int, List[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.shard_index(key), []).append(key)
+        return grouped
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, Any]:
+        # Route each shard its own sub-batch, so a batched sub-engine
+        # sees one pipelined MGET per shard rather than N singles.
+        found: Dict[str, Any] = {}
+        for index, shard_keys in self._group_keys(keys).items():
+            found.update(self.shards[index].get_many(shard_keys))
+        return found
+
+    def put_many(self, items: Iterable[Tuple[str, Any, int]]) -> None:
+        grouped: Dict[int, List[Tuple[str, Any, int]]] = {}
+        for key, value, size in items:
+            grouped.setdefault(self.shard_index(key), []).append(
+                (key, value, size)
+            )
+        for index, shard_items in grouped.items():
+            shard = self.shards[index]
+            shard.put_many(shard_items)
+            # Protect the most recent write, matching what sequential
+            # puts would keep when the sub-batch overflows the shard.
+            self._enforce_shard_capacity(
+                shard, protect=shard_items[-1][0]
+            )
+
+    def remove_many(self, keys: Iterable[str]) -> Dict[str, Any]:
+        removed: Dict[str, Any] = {}
+        for index, shard_keys in self._group_keys(keys).items():
+            removed.update(self.shards[index].remove_many(shard_keys))
+        return removed
+
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
 
@@ -124,6 +170,24 @@ class ShardedBackend(CacheBackend):
                 break
             value = shard.remove(victim)
             self._notify_eviction(victim, value)
+
+    # -- simulated operation cost ------------------------------------------
+
+    def pending_latency(self) -> float:
+        return sum(shard.pending_latency() for shard in self.shards)
+
+    def drain_latency(self, concurrent: float = 0.0) -> float:
+        # Shards drain independently; their costs are summed (the
+        # conservative, serialized composition). Overlap clipping is
+        # the wrapping engine's job — pass ``concurrent`` through only
+        # when a single shard carries the whole pool, so the pool is
+        # never clipped against the same transit twice.
+        draining = [
+            shard for shard in self.shards if shard.pending_latency() > 0
+        ]
+        if len(draining) == 1:
+            return draining[0].drain_latency(concurrent)
+        return sum(shard.drain_latency() for shard in draining)
 
     # -- diagnostics ------------------------------------------------------
 

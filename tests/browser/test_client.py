@@ -97,3 +97,48 @@ class TestCdnMode:
         response = run_fetch(env, other.fetch(get("/page/1")))
         assert response.served_by == "edge"
         assert env.now - start == pytest.approx(2 * CLIENT_EDGE)
+
+
+class TestFetchMany:
+    def test_cdn_wave_batches_misses(self, env, cdn_client, cdn):
+        requests = [get("/page/1"), get("/page/2"), get("/static/app.js")]
+        responses = run_fetch(env, cdn_client.fetch_many(requests))
+        assert [r.status for r in responses] == [Status.OK] * 3
+        assert len(cdn.pop("edge").store) == 3
+        assert len(cdn_client.cache.store) == 3
+
+    def test_browser_hits_answered_locally(self, env, cdn_client):
+        run_fetch(env, cdn_client.fetch(get("/page/1")))
+        start = env.now
+        responses = run_fetch(
+            env, cdn_client.fetch_many([get("/page/1"), get("/page/2")])
+        )
+        assert responses[0].served_by == "browser:client"
+        assert responses[1].served_by == "origin"
+        # Only the miss travels: one edge RT (fill runs inside it).
+        assert env.now > start
+
+    def test_warm_wave_is_one_edge_round_trip(
+        self, env, transport, cdn, cdn_client
+    ):
+        requests = [get("/page/1"), get("/page/2"), get("/page/3")]
+        run_fetch(env, cdn_client.fetch_many(requests))
+        other = BrowserClient(
+            "client", transport, mode=TransportMode.CDN, cdn=cdn
+        )
+        start = env.now
+        responses = run_fetch(env, other.fetch_many(requests))
+        assert [r.served_by for r in responses] == ["edge"] * 3
+        assert env.now - start == pytest.approx(2 * CLIENT_EDGE)
+
+    def test_direct_mode_falls_back_to_parallel_fetches(
+        self, env, direct_client
+    ):
+        requests = [get("/page/1"), get("/page/2")]
+        responses = run_fetch(env, direct_client.fetch_many(requests))
+        assert [r.served_by for r in responses] == ["origin", "origin"]
+        # Parallel, not serialized: one direct round trip total.
+        assert env.now == pytest.approx(2 * CLIENT_ORIGIN)
+
+    def test_empty_wave(self, env, cdn_client):
+        assert run_fetch(env, cdn_client.fetch_many([])) == []

@@ -113,3 +113,98 @@ class TestViaCdn:
         # 20 kB at 100 kB/s adds 0.2 s on the client-edge leg.
         expected = 2 * CLIENT_EDGE + 2 * EDGE_ORIGIN + 0.2
         assert env.now == pytest.approx(expected)
+
+
+class TestFetchManyViaCdn:
+    def wave(self, *paths):
+        return [get(path) for path in paths]
+
+    def test_empty_wave_is_free(self, env, transport, cdn):
+        responses = run_fetch(
+            env,
+            transport.fetch_many_via_cdn("client", [], cdn, "edge"),
+        )
+        assert responses == []
+        assert env.now == 0.0
+
+    def test_warm_wave_costs_one_edge_round_trip(self, env, transport, cdn):
+        paths = ("/page/1", "/page/2", "/static/app.js")
+        for path in paths:
+            run_fetch(
+                env, transport.fetch_via_cdn("client", get(path), cdn, "edge")
+            )
+        start = env.now
+        responses = run_fetch(
+            env,
+            transport.fetch_many_via_cdn(
+                "client", self.wave(*paths), cdn, "edge"
+            ),
+        )
+        assert [r.served_by for r in responses] == ["edge"] * 3
+        assert env.now - start == pytest.approx(2 * CLIENT_EDGE)
+
+    def test_misses_fill_in_parallel(self, env, transport, cdn):
+        responses = run_fetch(
+            env,
+            transport.fetch_many_via_cdn(
+                "client",
+                self.wave("/page/1", "/page/2", "/page/3"),
+                cdn,
+                "edge",
+            ),
+        )
+        assert all(r.status == Status.OK for r in responses)
+        # All three fills run concurrently: one edge RT + one origin RT.
+        assert env.now == pytest.approx(2 * CLIENT_EDGE + 2 * EDGE_ORIGIN)
+
+    def test_responses_in_request_order(self, env, transport, cdn):
+        # Warm one of the three so hits and fills interleave.
+        run_fetch(
+            env, transport.fetch_via_cdn("client", get("/page/2"), cdn, "edge")
+        )
+        responses = run_fetch(
+            env,
+            transport.fetch_many_via_cdn(
+                "client",
+                self.wave("/page/1", "/page/2", "/page/3"),
+                cdn,
+                "edge",
+            ),
+        )
+        assert [r.url.path for r in responses] == [
+            "/page/1",
+            "/page/2",
+            "/page/3",
+        ]
+
+    def test_batched_overlap_hides_edge_store_latency(
+        self, env, topology, server
+    ):
+        import random
+
+        from repro.browser import Transport
+        from repro.cdn import Cdn
+        from repro.storage import BackendSpec
+
+        spec = BackendSpec(kind="batched", overlap=True, seed=3)
+        cdn = Cdn(["edge"], backend_spec=spec)
+        transport = Transport(env, topology, server, random.Random(0))
+        paths = ("/page/1", "/page/2", "/page/3")
+        for path in paths:
+            run_fetch(
+                env, transport.fetch_via_cdn("client", get(path), cdn, "edge")
+            )
+        env.run()
+        cdn.pop("edge").store.drain_latency()
+        start = env.now
+        run_fetch(
+            env,
+            transport.fetch_many_via_cdn(
+                "client", self.wave(*paths), cdn, "edge"
+            ),
+        )
+        # The single batched lookup round trip hides entirely under the
+        # client-edge return leg.
+        engine = cdn.pop("edge").store.backend
+        assert engine.overlap_hidden > 0.0
+        assert env.now - start == pytest.approx(2 * CLIENT_EDGE)

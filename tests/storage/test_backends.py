@@ -8,6 +8,7 @@ from repro.simnet.delay import ConstantDelay
 from repro.storage import (
     BACKEND_KINDS,
     BackendSpec,
+    BatchedRemoteBackend,
     InMemoryBackend,
     ShardedBackend,
     SimulatedRemoteBackend,
@@ -152,7 +153,7 @@ class TestRemoteLatency:
 
 class TestBackendSpec:
     def test_kind_registry(self):
-        assert BACKEND_KINDS == ("inmemory", "sharded", "remote")
+        assert BACKEND_KINDS == ("inmemory", "sharded", "remote", "batched")
 
     def test_build_each_kind(self):
         assert isinstance(
@@ -164,6 +165,12 @@ class TestBackendSpec:
         assert isinstance(
             BackendSpec(kind="remote").build(), SimulatedRemoteBackend
         )
+        batched = BackendSpec(
+            kind="batched", batch_window=8, overlap=True
+        ).build()
+        assert isinstance(batched, BatchedRemoteBackend)
+        assert batched.batch_window == 8
+        assert batched.overlap
 
     def test_build_returns_fresh_instances(self):
         spec = BackendSpec(kind="inmemory")

@@ -11,6 +11,7 @@ import pytest
 
 from repro.simnet.delay import ConstantDelay
 from repro.storage import (
+    BatchedRemoteBackend,
     InMemoryBackend,
     ShardedBackend,
     SimulatedRemoteBackend,
@@ -22,6 +23,13 @@ ENGINE_FACTORIES = {
     "sharded-4": lambda: ShardedBackend(n_shards=4),
     "remote": lambda: SimulatedRemoteBackend(rng=random.Random(7)),
     "remote-over-sharded": lambda: SimulatedRemoteBackend(
+        inner=ShardedBackend(n_shards=4), rng=random.Random(7)
+    ),
+    "batched": lambda: BatchedRemoteBackend(rng=random.Random(7)),
+    "batched-overlap": lambda: BatchedRemoteBackend(
+        overlap=True, rng=random.Random(7)
+    ),
+    "batched-over-sharded": lambda: BatchedRemoteBackend(
         inner=ShardedBackend(n_shards=4), rng=random.Random(7)
     ),
 }
@@ -125,6 +133,48 @@ class TestAccounting:
     def test_default_size_is_zero(self, backend):
         backend.put("k", "value")
         assert backend.bytes_used == 0
+
+
+class TestBatchedOps:
+    """The multi-key protocol: default loops and batched overrides
+    must be observably identical apart from latency accounting."""
+
+    def test_get_many_returns_present_keys_only(self, backend):
+        backend.put("a", 1)
+        backend.put("b", 2)
+        found = backend.get_many(["a", "ghost", "b"])
+        assert found == {"a": 1, "b": 2}
+
+    def test_get_many_empty(self, backend):
+        assert backend.get_many([]) == {}
+
+    def test_put_many_stores_all_with_sizes(self, backend):
+        backend.put_many([("a", 1, 10), ("b", 2, 20), ("c", 3, 30)])
+        assert backend.get("a") == 1
+        assert backend.get("c") == 3
+        assert len(backend) == 3
+        assert backend.bytes_used == 60
+
+    def test_put_many_overwrites(self, backend):
+        backend.put("a", "old", size=10)
+        backend.put_many([("a", "new", 3)])
+        assert backend.get("a") == "new"
+        assert backend.bytes_used == 3
+
+    def test_remove_many_returns_removed_values(self, backend):
+        backend.put("a", 1, size=5)
+        backend.put("b", 2, size=5)
+        removed = backend.remove_many(["a", "ghost", "b"])
+        assert removed == {"a": 1, "b": 2}
+        assert len(backend) == 0
+        assert backend.bytes_used == 0
+
+    def test_remove_many_is_not_announced_as_eviction(self, backend):
+        dropped = []
+        backend.subscribe_evictions(lambda key, value: dropped.append(key))
+        backend.put_many([("a", 1, 0), ("b", 2, 0)])
+        backend.remove_many(["a", "b"])
+        assert dropped == []
 
 
 class TestLatencyContract:
