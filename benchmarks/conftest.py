@@ -72,6 +72,9 @@ def run_cached(workload):
             spec.seed,
             spec.backend,
             spec.batch_waves,
+            spec.n_regions,
+            spec.replicate_pops,
+            spec.replication_delay,
         )
         if key not in cache:
             cache[key] = SimulationRunner(

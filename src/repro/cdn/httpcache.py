@@ -15,11 +15,14 @@ transport layer owns time.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.http.freshness import is_cacheable
 from repro.http.messages import Request, Response, Status
 from repro.sim.metrics import MetricRegistry
+
+#: Called with ``(cache_key, response, now)`` after every admission.
+AdmitObserver = Callable[[str, Response, float], None]
 
 
 class HttpCache:
@@ -37,6 +40,9 @@ class HttpCache:
         self.name = name
         self.store = store
         self.metrics = metrics or MetricRegistry()
+        #: Notified after each stored admission (PoP replication hooks
+        #: in here; the node itself stays passive).
+        self.admit_observers: List[AdmitObserver] = []
 
     @property
     def shared(self) -> bool:
@@ -114,8 +120,11 @@ class HttpCache:
         if response.status == Status.OK and is_cacheable(
             response, shared=self.shared
         ):
-            self.store.put(request.url.cache_key(), response.copy(), now)
+            key = request.url.cache_key()
+            self.store.put(key, response.copy(), now)
             self._count("fill")
+            for observer in self.admit_observers:
+                observer(key, response, now)
         return response.copy()
 
     def refresh(

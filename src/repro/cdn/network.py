@@ -20,6 +20,11 @@ class Cdn:
 
     ``backend_spec`` selects the storage engine every PoP stores its
     entries in (each PoP gets its own engine instance).
+
+    An optional :class:`~repro.cdn.replication.PopReplicator` (see
+    :meth:`attach_replicator`) asynchronously copies admitted entries
+    to sibling PoPs; every purge entry point reports the purged keys to
+    it so in-flight replicas sent before the purge never re-apply.
     """
 
     def __init__(
@@ -34,6 +39,7 @@ class Cdn:
             raise ValueError("a CDN needs at least one PoP")
         self.metrics = metrics or MetricRegistry()
         self.backend_spec = backend_spec
+        self.replicator = None
         self.pops: Dict[str, EdgeCache] = {}
         for name in pop_names:
             store = CacheStore(
@@ -54,9 +60,15 @@ class Cdn:
         except KeyError:
             raise KeyError(f"unknown PoP {name!r}") from None
 
+    def attach_replicator(self, replicator) -> None:
+        """Register the async PoP-to-PoP replicator for this CDN."""
+        self.replicator = replicator
+
     def purge(self, key: str) -> int:
         """Purge one cache key from every PoP; returns PoPs affected."""
         self.metrics.counter("cdn.purge_requests").inc()
+        if self.replicator is not None:
+            self.replicator.note_purged((key,))
         return sum(1 for pop in self.pops.values() if pop.purge(key))
 
     def purge_many(self, keys: List[str]) -> int:
@@ -64,20 +76,28 @@ class Cdn:
 
         Each PoP receives the whole key list as a single batched
         removal, so a pipelined storage engine pays ~one round trip per
-        PoP for the entire fan-out instead of one per key. Returns the
-        total number of (key, PoP) purges that hit a stored entry, and
-        counts purge requests exactly as the per-key loop did.
+        PoP for the entire fan-out instead of one per key. An empty key
+        list is a no-op with zero round trips — no PoP store is touched
+        and no purge request is counted. Returns the total number of
+        (key, PoP) purges that hit a stored entry, and counts purge
+        requests exactly as the per-key loop did.
         """
         if not keys:
             return 0
         self.metrics.counter("cdn.purge_requests").inc(len(keys))
+        if self.replicator is not None:
+            self.replicator.note_purged(keys)
         return sum(pop.purge_many(keys) for pop in self.pops.values())
 
     def purge_prefix(self, prefix: str) -> int:
         self.metrics.counter("cdn.purge_requests").inc()
+        if self.replicator is not None:
+            self.replicator.note_purged_prefix(prefix)
         return sum(pop.purge_prefix(prefix) for pop in self.pops.values())
 
     def purge_all(self) -> None:
+        if self.replicator is not None:
+            self.replicator.note_purged_prefix("")
         for pop in self.pops.values():
             pop.purge_all()
 

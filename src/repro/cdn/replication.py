@@ -1,0 +1,140 @@
+"""Asynchronous PoP-to-PoP replication of admitted edge entries.
+
+A classic CDN fills each PoP independently: the first request in every
+region pays the full origin round trip even when a sibling PoP already
+holds the entry. With replication enabled, a PoP that admits a
+cacheable response enqueues *replication events* to its sibling PoPs;
+each event applies after a simulated propagation delay, pre-warming the
+siblings without touching the origin.
+
+Replication is asynchronous, so it interacts with invalidation: a
+replica can be **in flight** while the pipeline purges its key. An
+in-flight stale replica applied after the purge would re-poison the
+sibling for an unbounded time, so the replicator tracks purge times
+(the :class:`~repro.cdn.network.Cdn` reports every purge) and drops any
+replica whose send instant precedes the purge. What remains is a
+bounded race — a PoP may admit a just-superseded response (the classic
+in-flight origin-fetch window) and replicate it, so siblings can serve
+it for up to one propagation delay longer than the source. Coherence
+accounting above widens the Δ bound by exactly that delay (see
+``SimulationRunner._checker_delta``).
+
+Only shared-cache (anonymous / segment-variant) entries ever reach a
+PoP store, so replicating them to siblings moves no user-identifying
+state between regions — the GDPR posture is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.http.freshness import is_fresh_at
+from repro.http.messages import Response
+from repro.sim.environment import Environment
+from repro.sim.metrics import MetricRegistry
+
+#: Default PoP-to-PoP propagation delay (seconds): an inter-region
+#: one-way transit, the same order as the edge→origin leg.
+DEFAULT_REPLICATION_DELAY = 0.05
+
+
+class PopReplicator:
+    """Fans admitted entries out to sibling PoPs after a delay."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cdn,
+        delay: float = DEFAULT_REPLICATION_DELAY,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0: {delay}")
+        self.env = env
+        self.cdn = cdn
+        self.delay = delay
+        self.metrics = metrics or cdn.metrics
+        #: Most recent purge instant per key / per prefix; deliveries
+        #: sent at or before these instants are dropped on arrival.
+        self._purged_at: Dict[str, float] = {}
+        self._purged_prefixes: List[Tuple[str, float]] = []
+        #: In-flight replica count per key (for purge-time accounting).
+        self._in_flight: Dict[str, int] = {}
+        cdn.attach_replicator(self)
+        for name, pop in cdn.pops.items():
+            pop.admit_observers.append(
+                lambda key, response, now, source=name: self.on_admit(
+                    source, key, response, now
+                )
+            )
+
+    # -- admission side ----------------------------------------------------
+
+    def on_admit(
+        self, source: str, key: str, response: Response, now: float
+    ) -> None:
+        """A PoP stored a response: enqueue events to its siblings."""
+        for name, sibling in self.cdn.pops.items():
+            if name == source or key in sibling.store:
+                continue
+            self._in_flight[key] = self._in_flight.get(key, 0) + 1
+            self.metrics.counter("replication.sent").inc()
+            self.env.process(
+                self._deliver(name, sibling, key, response.copy(), now)
+            )
+
+    def _deliver(
+        self, name: str, sibling, key: str, response: Response, sent_at: float
+    ):
+        yield self.env.timeout(self.delay)
+        remaining = self._in_flight.get(key, 1) - 1
+        if remaining:
+            self._in_flight[key] = remaining
+        else:
+            self._in_flight.pop(key, None)
+        if self._superseded(key, sent_at):
+            # The key was purged after this replica left its source:
+            # applying it would re-poison the sibling past the purge.
+            self.metrics.counter("replication.dropped_purged").inc()
+            return
+        if key in sibling.store:
+            self.metrics.counter("replication.dropped_present").inc()
+            return
+        if not is_fresh_at(response, self.env.now, shared=True):
+            self.metrics.counter("replication.dropped_stale").inc()
+            return
+        sibling.store.put(key, response, self.env.now)
+        self.metrics.counter(f"edge.{name}.replicated").inc()
+        self.metrics.counter("replication.applied").inc()
+
+    def _superseded(self, key: str, sent_at: float) -> bool:
+        purged = self._purged_at.get(key)
+        if purged is not None and purged >= sent_at:
+            return True
+        return any(
+            key.startswith(prefix) and at >= sent_at
+            for prefix, at in self._purged_prefixes
+        )
+
+    # -- purge side --------------------------------------------------------
+
+    def note_purged(self, keys: Iterable[str]) -> None:
+        """The CDN purged these keys right now; in-flight replicas sent
+        before this instant must not apply."""
+        now = self.env.now
+        for key in keys:
+            self._purged_at[key] = now
+
+    def note_purged_prefix(self, prefix: str) -> None:
+        self._purged_prefixes.append((prefix, self.env.now))
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Replication events currently travelling between PoPs."""
+        return sum(self._in_flight.values())
+
+    def in_flight_for(self, keys: Iterable[str]) -> int:
+        """How many in-flight replicas a purge of ``keys`` supersedes."""
+        return sum(self._in_flight.get(key, 0) for key in keys)

@@ -89,21 +89,59 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         help="multiplex each page-load wave slot as one multi-asset "
         "CDN lookup",
     )
+    parser.add_argument(
+        "--write-behind",
+        action="store_true",
+        help="shorthand for --backend write-behind: acknowledge cache "
+        "mutations immediately and drain them in the background",
+    )
+    parser.add_argument(
+        "--flush-interval",
+        type=float,
+        default=None,
+        help="background flush interval (simulated seconds) for the "
+        "write-behind engine; widens the checked Δ bound",
+    )
+    parser.add_argument(
+        "--replicate-pops",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="deploy N regional PoPs and asynchronously replicate "
+        "admitted entries between them",
+    )
 
 
 def _backend_spec(args) -> Optional[BackendSpec]:
-    if args.backend is None:
+    kind = args.backend
+    if getattr(args, "write_behind", False):
+        if kind is not None and kind != "write-behind":
+            raise SystemExit(
+                f"--write-behind conflicts with --backend {kind}"
+            )
+        kind = "write-behind"
+    if kind is None:
         return None
     kwargs = {}
     if args.batch_window is not None:
         kwargs["batch_window"] = args.batch_window
+    if getattr(args, "flush_interval", None) is not None:
+        kwargs["flush_interval"] = args.flush_interval
     return BackendSpec(
-        kind=args.backend,
+        kind=kind,
         n_shards=args.backend_shards,
         seed=args.seed,
         overlap=args.overlap,
         **kwargs,
     )
+
+
+def _replication_kwargs(args) -> dict:
+    """ScenarioSpec kwargs for --replicate-pops N (N regional PoPs)."""
+    n_regions = getattr(args, "replicate_pops", None)
+    if n_regions is None:
+        return {}
+    return {"replicate_pops": True, "n_regions": n_regions}
 
 
 def _build_workload(args):
@@ -143,6 +181,7 @@ def cmd_run(args) -> int:
         adaptive_ttl=args.adaptive_ttl,
         backend=_backend_spec(args),
         batch_waves=args.batch_waves,
+        **_replication_kwargs(args),
     )
     result = _run(spec, workload)
     if args.json:
@@ -173,6 +212,7 @@ def cmd_compare(args) -> int:
                     delta=args.delta,
                     backend=_backend_spec(args),
                     batch_waves=args.batch_waves,
+                    **_replication_kwargs(args),
                 ),
                 workload,
             )
@@ -209,6 +249,7 @@ def cmd_sweep_delta(args) -> int:
                 delta=delta,
                 backend=_backend_spec(args),
                 batch_waves=args.batch_waves,
+                **_replication_kwargs(args),
             ),
             workload,
         )
@@ -237,6 +278,7 @@ def cmd_sweep_segments(args) -> int:
                 n_segments=n,
                 backend=_backend_spec(args),
                 batch_waves=args.batch_waves,
+                **_replication_kwargs(args),
             ),
             workload,
         )
@@ -268,6 +310,7 @@ def cmd_report(args) -> int:
                     scenario=scenario,
                     backend=_backend_spec(args),
                     batch_waves=args.batch_waves,
+                    **_replication_kwargs(args),
                 ),
                 workload,
             )

@@ -27,6 +27,10 @@ class ReadRecord:
     read_at: float
     staleness: float
     violation: bool
+    #: The client (user id) that performed the read, when known.
+    #: Session-consistency invariants (e.g. per-client monotonic reads)
+    #: group records by this field.
+    client: Optional[str] = None
 
 
 class DeltaAtomicityChecker:
@@ -51,6 +55,7 @@ class DeltaAtomicityChecker:
         response: Response,
         read_at: float,
         user_id: Optional[str] = None,
+        client: Optional[str] = None,
     ) -> ReadRecord:
         """Check one read; returns its record (and stores it)."""
         if response.url is None or response.version is None:
@@ -75,6 +80,7 @@ class DeltaAtomicityChecker:
             read_at=read_at,
             staleness=staleness,
             violation=violation,
+            client=client if client is not None else user_id,
         )
         self.records.append(record)
         self.metrics.histogram("coherence.staleness").observe(staleness)

@@ -83,6 +83,31 @@ class SimulationRunner:
             return AdaptiveTtlPolicy()
         return StaticTtlPolicy(overrides=overrides)
 
+    def _async_propagation_slack(self) -> float:
+        """Extra staleness budget opened by asynchronous propagation.
+
+        Two knobs defer remotely-visible effects past their
+        acknowledgement, and each widens the Δ bound by its worst-case
+        lag:
+
+        * a **write-behind** storage engine acknowledges a purge's
+          removal before the background flusher applies it to the
+          wrapped store (local readers are covered by the overlay, but
+          the remote copy lives up to ``flush_interval`` longer);
+        * **async PoP replication** can have a just-superseded replica
+          in flight when the purge lands; the purge cancels replicas
+          sent before it, but a copy admitted during the in-flight
+          origin-fetch window may replicate afterwards and serve for up
+          to one ``replication_delay`` longer than its source.
+        """
+        slack = 0.0
+        backend = self.spec.backend
+        if backend is not None and backend.kind == "write-behind":
+            slack += backend.flush_interval
+        if self.spec.replicate_pops:
+            slack += self.spec.replication_delay
+        return slack
+
     def _checker_delta(self) -> float:
         scenario = self.spec.scenario
         if scenario in (
@@ -100,11 +125,16 @@ class SimulationRunner:
                     + self.spec.purge_latency
                     + _SLACK,
                 )
-            return bound
+            return bound + self._async_propagation_slack()
         if scenario is Scenario.SPEED_KIT_SKETCH_ONLY:
             # Without purges, edges serve (and 304-confirm) stale copies
             # until shared expiry: the bound degrades by the TTL.
-            return self.spec.delta + self.spec.page_ttl + _SLACK
+            return (
+                self.spec.delta
+                + self.spec.page_ttl
+                + _SLACK
+                + self._async_propagation_slack()
+            )
         # Expiration-based stacks are bounded by TTL accumulation only;
         # the checker records staleness without judging violations.
         return float("inf")
@@ -155,6 +185,15 @@ class SimulationRunner:
                 metrics=self.metrics,
                 backend_spec=spec.backend,
             )
+            if spec.replicate_pops and len(self._pop_names) > 1:
+                from repro.cdn.replication import PopReplicator
+
+                PopReplicator(
+                    self.env,
+                    self.cdn,
+                    delay=spec.replication_delay,
+                    metrics=self.metrics,
+                )
         if scenario.uses_speed_kit:
             use_sketch = scenario is not Scenario.SPEED_KIT_PURGE_ONLY
             use_purge = scenario is not Scenario.SPEED_KIT_SKETCH_ONLY
@@ -459,7 +498,9 @@ class SimulationRunner:
             result.started_at, result.plt
         )
         for response in result.responses:
-            self._record_response(response, delta_covered)
+            self._record_response(
+                response, delta_covered, client=user.user_id
+            )
         if result.responses:
             self._record_personalization(user, result.responses[0])
 
@@ -502,7 +543,12 @@ class SimulationRunner:
             return "edge"
         return served_by
 
-    def _record_response(self, response, delta_covered: bool = True) -> None:
+    def _record_response(
+        self,
+        response,
+        delta_covered: bool = True,
+        client: Optional[str] = None,
+    ) -> None:
         if response.status.is_server_error:
             self.result.failed_responses += 1
             return
@@ -521,7 +567,7 @@ class SimulationRunner:
             return
         if "X-Version-Key" in response.headers:
             checker = self.checker if delta_covered else self.baseline_checker
-            checker.record_read(response, self.env.now)
+            checker.record_read(response, self.env.now, client=client)
 
     def _finalize(self) -> None:
         result = self.result

@@ -79,6 +79,12 @@ class ScenarioSpec:
     #: Multiplex each page-load wave slot as one multi-asset lookup
     #: (fetcher ``fetch_many``) instead of independent connections.
     batch_waves: bool = False
+    #: Asynchronously replicate admitted entries between PoPs (needs a
+    #: multi-PoP deployment to do anything). The Δ bound widens by
+    #: ``replication_delay`` — the in-flight replica window.
+    replicate_pops: bool = False
+    #: PoP-to-PoP propagation delay in simulated seconds.
+    replication_delay: float = 0.05
     label: Optional[str] = None
 
     @property

@@ -153,6 +153,24 @@ class InvalidationPipeline:
 
         yield self.env.timeout(self.purge_latency - self.detection_latency)
         if self.cdn is not None:
+            # Async PoP replication races the purge: replicas of the
+            # purged keys still travelling between PoPs would re-apply
+            # a superseded copy. The purge supersedes them (the CDN
+            # reports the purge instant to the replicator, which drops
+            # every replica sent before it); their count is recorded
+            # because each one widens the effective staleness window by
+            # up to one propagation delay — the term the runner adds to
+            # the Δ bound when replication is on.
+            replicator = getattr(self.cdn, "replicator", None)
+            if replicator is not None:
+                superseded = replicator.in_flight_for(cache_keys)
+                if superseded:
+                    self.metrics.counter(
+                        "invalidation.replicas_superseded"
+                    ).inc(superseded)
+                self.metrics.histogram(
+                    "invalidation.in_flight_replicas"
+                ).observe(float(superseded))
             # One batched purge per PoP: a pipelined storage engine
             # charges ~one round trip for the whole variant fan-out
             # instead of one per key.

@@ -22,11 +22,16 @@ above the protocol. Shipped engines:
   operations (``get_many``/``put_many``/``remove_many``) and coalesced
   single-key calls are charged one round trip per flushed batch plus a
   per-key marginal cost, and with ``overlap`` enabled the accrued
-  latency hides under concurrent network transit at the drain points.
+  latency hides under concurrent network transit at the drain points;
+* :class:`WriteBehindBackend` — write-behind over the batched engine:
+  mutations acknowledge immediately from a local buffer, queue into
+  flush epochs, and a background flusher drains them to the wrapped
+  engine off the caller's critical path. A read-your-writes overlay
+  keeps local readers exact; ``sync()`` is the durability barrier.
 
 :class:`BackendSpec` is the serializable selection record threaded
 through ``SpeedKitConfig``, ``ScenarioSpec``, and the CLI
-(``--backend inmemory|sharded|remote|batched``).
+(``--backend inmemory|sharded|remote|batched|write-behind``).
 """
 
 from repro.storage.backend import (
@@ -38,6 +43,7 @@ from repro.storage.batched import BatchedRemoteBackend
 from repro.storage.factory import BACKEND_KINDS, BackendSpec
 from repro.storage.remote import SimulatedRemoteBackend
 from repro.storage.sharded import ShardedBackend
+from repro.storage.writebehind import WriteBehindBackend
 
 __all__ = [
     "BACKEND_KINDS",
@@ -48,4 +54,5 @@ __all__ = [
     "InMemoryBackend",
     "ShardedBackend",
     "SimulatedRemoteBackend",
+    "WriteBehindBackend",
 ]

@@ -29,9 +29,13 @@ from repro.storage.remote import (
     SimulatedRemoteBackend,
 )
 from repro.storage.sharded import ShardedBackend
+from repro.storage.writebehind import (
+    DEFAULT_FLUSH_INTERVAL,
+    WriteBehindBackend,
+)
 
 #: The engine registry, in CLI order.
-BACKEND_KINDS = ("inmemory", "sharded", "remote", "batched")
+BACKEND_KINDS = ("inmemory", "sharded", "remote", "batched", "write-behind")
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,10 @@ class BackendSpec:
     per_key_cost: float = DEFAULT_PER_KEY_COST
     batch_window: int = DEFAULT_BATCH_WINDOW
     overlap: bool = False
+    #: Write-behind engine: background flusher cadence in simulated
+    #: seconds (queued mutations reach the remote store at most one
+    #: interval plus the write round trips after their ack).
+    flush_interval: float = DEFAULT_FLUSH_INTERVAL
     #: Root seed for the remote/batched engine's latency stream.
     seed: int = 0
 
@@ -74,6 +82,10 @@ class BackendSpec:
         if self.batch_window < 1:
             raise ValueError(
                 f"batch_window must be >= 1: {self.batch_window}"
+            )
+        if self.flush_interval < 0:
+            raise ValueError(
+                f"flush_interval must be >= 0: {self.flush_interval}"
             )
 
     def build(self, salt: str = "") -> CacheBackend:
@@ -105,6 +117,16 @@ class BackendSpec:
             return BatchedRemoteBackend(
                 read_delay=read_delay,
                 write_delay=write_delay,
+                per_key_cost=self.per_key_cost,
+                batch_window=self.batch_window,
+                overlap=self.overlap,
+                rng=rng,
+            )
+        if self.kind == "write-behind":
+            return WriteBehindBackend(
+                read_delay=read_delay,
+                write_delay=write_delay,
+                flush_interval=self.flush_interval,
                 per_key_cost=self.per_key_cost,
                 batch_window=self.batch_window,
                 overlap=self.overlap,

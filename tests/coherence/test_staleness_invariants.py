@@ -1,0 +1,207 @@
+"""Property-style staleness invariants across async configurations.
+
+Randomized (seeded-RNG) write/read/purge schedules are replayed through
+the full Speed Kit stack under every asynchronous-propagation
+configuration — synchronous remote storage, batched pipelining,
+write-behind drains, async PoP replication, and the combination — and
+the ground-truth read log is checked for the two invariants the paper's
+guarantee rests on:
+
+1. **Bounded staleness.** Every Δ-covered read returns a version that
+   was current within the configured bound (the base Δ window widened
+   by each config's asynchrony terms — see
+   ``SimulationRunner._checker_delta``). Zero violations, always.
+2. **Per-client monotonic reads.** A client that has observed version
+   ``v`` of a resource never later reads ``v' < v`` — acks may be
+   deferred and replicas may race purges, but no schedule may serve a
+   client a version it has already seen superseded.
+
+The schedules are deterministic per seed, so failures reproduce.
+"""
+
+import random
+
+import pytest
+
+from repro.harness import Scenario, ScenarioSpec, SimulationRunner
+from repro.storage import BackendSpec
+from repro.workload import (
+    CatalogConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_catalog,
+    generate_users,
+)
+
+SEEDS = (3, 11)
+
+#: Every asynchronous-propagation configuration under test. All run the
+#: full SPEED_KIT scenario; they differ in how far acknowledgement and
+#: remote visibility are allowed to drift apart.
+CONFIGS = {
+    "sync-remote": dict(backend=BackendSpec(kind="remote")),
+    "batched-overlap": dict(
+        backend=BackendSpec(kind="batched", overlap=True)
+    ),
+    "write-behind": dict(backend=BackendSpec(kind="write-behind")),
+    "replicated": dict(replicate_pops=True, n_regions=3),
+    "write-behind-replicated": dict(
+        backend=BackendSpec(kind="write-behind"),
+        replicate_pops=True,
+        n_regions=3,
+    ),
+}
+
+_RUNS = {}
+
+
+def _workload(seed):
+    catalog = generate_catalog(
+        CatalogConfig(n_products=30), random.Random(seed)
+    )
+    users = generate_users(
+        UserPopulationConfig(n_users=12, consent_fraction=1.0),
+        random.Random(seed + 1),
+    )
+    config = WorkloadConfig(
+        duration=600.0,
+        session_rate=0.1,
+        mean_session_length=4.0,
+        think_time_mean=8.0,
+        write_rate=0.08,
+    )
+    trace = WorkloadGenerator(catalog, users, config).generate(
+        random.Random(seed + 2)
+    )
+    return catalog, users, trace
+
+
+def run_config(config, seed):
+    """One (config, seed) replay, cached — returns the live runner."""
+    cached = _RUNS.get((config, seed))
+    if cached is not None:
+        return cached
+    catalog, users, trace = _workload(seed)
+    spec = ScenarioSpec(
+        scenario=Scenario.SPEED_KIT,
+        delta=30.0,
+        seed=seed,
+        **CONFIGS[config],
+    )
+    runner = SimulationRunner(spec, catalog, users, trace)
+    runner.run()
+    _RUNS[(config, seed)] = runner
+    return runner
+
+
+def version_regressions(checker):
+    """(earlier, later) read pairs where a client's version went back."""
+    highest = {}
+    regressions = []
+    for record in checker.records:
+        key = (record.client, record.resource_key)
+        prev = highest.get(key)
+        if prev is not None and record.version < prev.version:
+            regressions.append((prev, record))
+        if prev is None or record.version > prev.version:
+            highest[key] = record
+    return regressions
+
+
+@pytest.fixture(params=sorted(CONFIGS))
+def config(request):
+    return request.param
+
+
+@pytest.fixture(params=SEEDS, ids=lambda seed: f"seed{seed}")
+def runner(request, config):
+    return run_config(config, request.param)
+
+
+class TestStalenessInvariants:
+    def test_schedule_exercises_the_checker(self, runner):
+        """Guard against vacuous passes: reads were checked and the
+        workload actually produced invalidations."""
+        assert runner.checker.read_count > 100
+        assert runner.metrics.counter("invalidation.processed").value > 0
+
+    def test_bound_is_finite(self, runner):
+        assert runner.checker.delta < float("inf")
+
+    def test_zero_delta_violations(self, runner):
+        runner.checker.assert_delta_atomic()
+
+    def test_every_read_within_configured_bound(self, runner):
+        bound = runner.checker.delta
+        for record in runner.checker.records:
+            assert record.staleness <= bound, (
+                f"{record.resource_key} v{record.version} read at "
+                f"{record.read_at:.3f} stale by {record.staleness:.3f} "
+                f"> {bound:.3f}"
+            )
+
+    def test_reads_are_monotonic_per_client_and_key(self, runner):
+        regressions = version_regressions(runner.checker)
+        assert regressions == [], (
+            f"{len(regressions)} version regressions; first: "
+            f"{regressions[0]}"
+        )
+
+    def test_records_carry_the_client(self, runner):
+        assert all(
+            record.client is not None for record in runner.checker.records
+        )
+
+
+class TestBoundAccounting:
+    """Each asynchrony term widens the checked Δ bound by exactly its
+    configured worst-case lag."""
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_write_behind_widens_by_flush_interval(self, seed):
+        base = run_config("sync-remote", seed).checker.delta
+        wide = run_config("write-behind", seed).checker.delta
+        flush = CONFIGS["write-behind"]["backend"].flush_interval
+        assert wide == pytest.approx(base + flush)
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_replication_widens_by_propagation_delay(self, seed):
+        base = run_config("sync-remote", seed).checker.delta
+        wide = run_config("replicated", seed).checker.delta
+        assert wide == pytest.approx(
+            base + ScenarioSpec(scenario=Scenario.SPEED_KIT).replication_delay
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_combined_config_accumulates_both_terms(self, seed):
+        base = run_config("sync-remote", seed).checker.delta
+        wide = run_config("write-behind-replicated", seed).checker.delta
+        spec = ScenarioSpec(scenario=Scenario.SPEED_KIT)
+        flush = CONFIGS["write-behind"]["backend"].flush_interval
+        assert wide == pytest.approx(
+            base + flush + spec.replication_delay
+        )
+
+
+class TestReplicationActivity:
+    """The replicated configs really replicate (not a silent no-op)."""
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_replicas_flow_between_pops(self, seed):
+        runner = run_config("replicated", seed)
+        assert runner.metrics.counter("replication.sent").value > 0
+        assert runner.metrics.counter("replication.applied").value > 0
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_purge_races_are_cancelled_not_applied(self, seed):
+        """Whenever the pipeline observed in-flight replicas at purge
+        time, the replicator dropped them on arrival."""
+        runner = run_config("replicated", seed)
+        superseded = runner.metrics.counter(
+            "invalidation.replicas_superseded"
+        ).value
+        dropped = runner.metrics.counter(
+            "replication.dropped_purged"
+        ).value
+        assert dropped >= superseded

@@ -153,7 +153,13 @@ class TestRemoteLatency:
 
 class TestBackendSpec:
     def test_kind_registry(self):
-        assert BACKEND_KINDS == ("inmemory", "sharded", "remote", "batched")
+        assert BACKEND_KINDS == (
+            "inmemory",
+            "sharded",
+            "remote",
+            "batched",
+            "write-behind",
+        )
 
     def test_build_each_kind(self):
         assert isinstance(

@@ -15,6 +15,7 @@ from repro.storage import (
     InMemoryBackend,
     ShardedBackend,
     SimulatedRemoteBackend,
+    WriteBehindBackend,
 )
 
 ENGINE_FACTORIES = {
@@ -31,6 +32,15 @@ ENGINE_FACTORIES = {
     ),
     "batched-over-sharded": lambda: BatchedRemoteBackend(
         inner=ShardedBackend(n_shards=4), rng=random.Random(7)
+    ),
+    "write-behind": lambda: WriteBehindBackend(rng=random.Random(7)),
+    "write-behind-overlap": lambda: WriteBehindBackend(
+        overlap=True, rng=random.Random(7)
+    ),
+    "write-behind-over-sharded": lambda: WriteBehindBackend(
+        inner=BatchedRemoteBackend(
+            inner=ShardedBackend(n_shards=4), rng=random.Random(7)
+        )
     ),
 }
 
@@ -177,6 +187,33 @@ class TestBatchedOps:
         assert dropped == []
 
 
+class TestUnflushedVisibility:
+    """Acknowledged mutations are immediately visible to the writer.
+
+    On synchronous engines this is trivial; on the write-behind engine
+    these reads exercise the read-your-writes overlay — the mutations
+    are still queued, not yet applied to the wrapped store.
+    """
+
+    def test_get_many_sees_unflushed_put_many(self, backend):
+        backend.put_many([("a", "old-a", 5), ("b", "old-b", 5)])
+        backend.put_many([("a", "new-a", 3), ("c", "new-c", 3)])
+        found = backend.get_many(["a", "b", "c"])
+        assert found == {"a": "new-a", "b": "old-b", "c": "new-c"}
+
+    def test_get_many_sees_unflushed_removes(self, backend):
+        backend.put_many([("a", 1, 0), ("b", 2, 0)])
+        backend.remove("a")
+        assert backend.get_many(["a", "b"]) == {"b": 2}
+
+    def test_scan_sees_unflushed_mutations(self, backend):
+        backend.put("x/1", "one")
+        backend.put("x/2", "two")
+        backend.remove("x/1")
+        backend.put("x/3", "three")
+        assert dict(backend.scan("x/")) == {"x/2": "two", "x/3": "three"}
+
+
 class TestLatencyContract:
     def test_drain_resets_pending(self, backend):
         backend.put("k", "value")
@@ -186,6 +223,16 @@ class TestLatencyContract:
         assert backend.drain_latency() == pending
         assert backend.pending_latency() == 0.0
         assert backend.drain_latency() == 0.0
+
+    def test_drain_with_concurrent_never_negative(self, backend):
+        """Regression: a concurrent-transit clip larger than the
+        pending pool must floor residual latency at zero, never go
+        negative (which would *speed up* the caller)."""
+        for i in range(5):
+            backend.put(f"k{i}", i, size=1)
+            backend.get(f"k{i}")
+        assert backend.drain_latency(concurrent=1e9) >= 0.0
+        assert backend.drain_latency(concurrent=0.0) >= 0.0
 
     def test_peek_and_metadata_are_cost_free(self, backend):
         backend.put("k", "value", size=5)
