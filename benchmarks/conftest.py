@@ -75,6 +75,9 @@ def run_cached(workload):
             spec.n_regions,
             spec.replicate_pops,
             spec.replication_delay,
+            spec.fault_profile,
+            spec.stale_if_error,
+            spec.retry,
         )
         if key not in cache:
             cache[key] = SimulationRunner(

@@ -4,6 +4,19 @@ All methods are generator *sub-processes*: callers drive them with
 ``yield from`` inside a simulation process. Time advances through the
 timeouts sampled from the topology's links; cache and origin logic is
 invoked synchronously at the simulated instant the message arrives.
+
+Fault handling lives at this layer because this is where messages
+exist: the optional ``faults`` schedule (a plain
+:class:`~repro.simnet.faults.FaultSchedule` or a full
+:class:`~repro.faults.injector.FaultInjector`) decides which nodes
+fail, which traversals are lost, and which are slowed; the optional
+:class:`~repro.faults.retry.RetryPolicy` bounds how hard an origin
+exchange tries before synthesizing a 503; the optional
+:class:`~repro.faults.breaker.CircuitBreaker` trips a repeatedly
+failing PoP to origin pass-through; and ``stale_if_error`` lets the
+edge answer a failed fill with a bounded-stale copy. All four default
+to off, in which case every code path below is draw-for-draw identical
+to the fault-free transport.
 """
 
 from __future__ import annotations
@@ -14,6 +27,7 @@ from typing import Generator, List, Optional, Sequence
 from repro.cdn.edge import EdgeCache
 from repro.cdn.network import Cdn
 from repro.http.freshness import conditional_request_for
+from repro.http.headers import Headers
 from repro.http.messages import (
     Request,
     Response,
@@ -25,6 +39,10 @@ from repro.origin.server import OriginServer
 from repro.sim.environment import Environment
 from repro.simnet.topology import Topology
 
+#: How long a sender waits out a lost message when no retry policy is
+#: configured (one attempt, then give up with a synthesized 503).
+DEFAULT_ATTEMPT_TIMEOUT = 1.0
+
 
 def _content_length(response: Response) -> int:
     length = response.headers.get("Content-Length")
@@ -34,6 +52,11 @@ def _content_length(response: Response) -> int:
         return max(0, int(length))
     except ValueError:
         return 0
+
+
+def _is_degraded(response: Response) -> bool:
+    """Whether a response is a bounded stale-if-error serving."""
+    return response.headers.get("X-Stale-If-Error") is not None
 
 
 class Transport:
@@ -48,6 +71,9 @@ class Transport:
         origin_node: str = "origin",
         faults=None,
         metrics=None,
+        retry=None,
+        breaker=None,
+        stale_if_error: Optional[float] = None,
     ) -> None:
         self.env = env
         self.topology = topology
@@ -56,6 +82,9 @@ class Transport:
         self.origin_node = origin_node
         self.faults = faults
         self.metrics = metrics
+        self.retry = retry
+        self.breaker = breaker
+        self.stale_if_error = stale_if_error
 
     def _count_bytes(self, which: str, response: Response) -> None:
         """Egress accounting: who paid for these bytes."""
@@ -63,6 +92,10 @@ class Transport:
             self.metrics.counter(f"bytes.{which}").inc(
                 _content_length(response)
             )
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     @property
     def _origin_store(self):
@@ -87,13 +120,33 @@ class Transport:
         if lag > 0:
             yield self.env.timeout(lag)
 
-    def _origin_handle(self, request: Request) -> Response:
-        """Let the origin answer — unless it is down right now."""
-        if self.faults is not None and self.faults.is_down(
-            self.origin_node, self.env.now
-        ):
-            from repro.http.headers import Headers
+    # -- fault queries -----------------------------------------------------
+    #
+    # Looked up with ``getattr`` so a plain FaultSchedule (is_down only)
+    # and ``faults=None`` both keep working; the fallbacks never touch
+    # any RNG, so the fault-free draw sequence is unchanged.
 
+    def _node_fails(self, node: str) -> bool:
+        if self.faults is None:
+            return False
+        should_fail = getattr(self.faults, "should_fail", None)
+        if should_fail is not None:
+            return should_fail(node, self.env.now)
+        return self.faults.is_down(node, self.env.now)
+
+    def _loses_message(self, sender: str, receiver: str) -> bool:
+        loses = getattr(self.faults, "loses_message", None)
+        return loses is not None and loses(sender, receiver)
+
+    def _latency_factor(self, sender: str, receiver: str) -> float:
+        factor = getattr(self.faults, "latency_factor", None)
+        return factor(sender, receiver) if factor is not None else 1.0
+
+    # -- origin exchange ---------------------------------------------------
+
+    def _origin_handle(self, request: Request) -> Response:
+        """Let the origin answer — unless it is down (or browned out)."""
+        if self._node_fails(self.origin_node):
             return Response(
                 status=Status.SERVICE_UNAVAILABLE,
                 headers=Headers({"Cache-Control": "no-store"}),
@@ -103,21 +156,45 @@ class Transport:
             )
         return self.origin_server.handle(request, self.env.now)
 
-    # -- direct path --------------------------------------------------------
-
-    def fetch_direct(
-        self, client_node: str, request: Request
-    ) -> Generator:
-        """Client → origin, no intermediary cache."""
-        yield self.env.timeout(
-            self.topology.one_way(client_node, self.origin_node, self.rng)
+    def _network_error(self, request: Request) -> Response:
+        """The response a sender synthesizes after giving up."""
+        return Response(
+            status=Status.SERVICE_UNAVAILABLE,
+            headers=Headers({"Cache-Control": "no-store"}),
+            url=request.url,
+            served_by="network",
+            generated_at=self.env.now,
         )
+
+    def _origin_attempt(
+        self, from_node: str, request: Request, attempt_timeout: float
+    ) -> Generator:
+        """One request/response try against the origin.
+
+        Returns ``None`` when a message was lost in transit — the
+        sender waits out ``attempt_timeout`` (measured from send) and
+        declares the attempt dead.
+        """
+        link = self.topology.link(from_node, self.origin_node)
+        if self._loses_message(from_node, self.origin_node):
+            self._count("transport.lost_requests")
+            yield self.env.timeout(attempt_timeout)
+            return None
+        forward = self.topology.one_way(
+            from_node, self.origin_node, self.rng
+        ) * self._latency_factor(from_node, self.origin_node)
+        yield self.env.timeout(forward)
         response = self._origin_handle(request)
         self._count_bytes("origin_egress", response)
-        link = self.topology.link(client_node, self.origin_node)
-        transit = link.one_way(self.rng) + link.transfer_time(
-            _content_length(response)
-        )
+        if self._loses_message(self.origin_node, from_node):
+            # The origin did the work (and sent the bytes), but the
+            # reply never arrives; the sender times out the remainder.
+            self._count("transport.lost_responses")
+            yield self.env.timeout(max(0.0, attempt_timeout - forward))
+            return None
+        transit = link.one_way(self.rng) * self._latency_factor(
+            self.origin_node, from_node
+        ) + link.transfer_time(_content_length(response))
         # Store latency may overlap with the response transit: the
         # origin's storage round trips and the return leg run
         # concurrently for a pipelining engine.
@@ -125,6 +202,59 @@ class Transport:
             self._origin_store, concurrent=transit
         )
         yield self.env.timeout(transit)
+        return response
+
+    def _origin_exchange(
+        self, from_node: str, request: Request
+    ) -> Generator:
+        """One logical origin exchange: attempts, backoff, budget.
+
+        With no retry policy this is a single attempt — exactly the
+        historical behaviour (plus a bounded wait if the profile loses
+        the message). With one, failed attempts (lost messages or 5xx
+        answers) retry with exponential backoff until the attempt count
+        or the time budget runs out; a request that never got an answer
+        resolves to a synthesized, uncacheable 503.
+        """
+        policy = self.retry
+        if policy is None:
+            response = yield from self._origin_attempt(
+                from_node, request, DEFAULT_ATTEMPT_TIMEOUT
+            )
+            return (
+                response
+                if response is not None
+                else self._network_error(request)
+            )
+        deadline = self.env.now + policy.budget
+        attempt = 0
+        response: Optional[Response] = None
+        while True:
+            attempt += 1
+            response = yield from self._origin_attempt(
+                from_node, request, policy.attempt_timeout
+            )
+            if response is not None and not response.status.is_server_error:
+                return response
+            if attempt >= policy.max_attempts:
+                break
+            backoff = policy.backoff_after(attempt)
+            if self.env.now + backoff >= deadline:
+                self._count("transport.budget_exhausted")
+                break
+            self._count("transport.retries")
+            yield self.env.timeout(backoff)
+        return (
+            response if response is not None else self._network_error(request)
+        )
+
+    # -- direct path --------------------------------------------------------
+
+    def fetch_direct(
+        self, client_node: str, request: Request
+    ) -> Generator:
+        """Client → origin, no intermediary cache."""
+        response = yield from self._origin_exchange(client_node, request)
         return response
 
     # -- CDN path --------------------------------------------------------------
@@ -139,10 +269,27 @@ class Transport:
         """Client → nearest edge PoP → (origin on miss/stale)."""
         if edge_name is None:
             edge_name = self.topology.nearest_edge(client_node, self.rng)
+        if self.breaker is not None and not self.breaker.allow(
+            edge_name, self.env.now
+        ):
+            # Breaker open: bypass the PoP entirely, pass through.
+            self._count("breaker.pass_through")
+            response = yield from self.fetch_direct(client_node, request)
+            return response
         edge = cdn.pop(edge_name)
         yield self.env.timeout(
             self.topology.one_way(client_node, edge_name, self.rng)
+            * self._latency_factor(client_node, edge_name)
         )
+        if self._node_fails(edge_name):
+            # The PoP is dark: fail over to the origin directly.
+            self._count("transport.edge_failures")
+            if self.breaker is not None:
+                self.breaker.record_failure(edge_name, self.env.now)
+            response = yield from self.fetch_direct(client_node, request)
+            return response
+        if self.breaker is not None:
+            self.breaker.record_success(edge_name)
         if edge.should_pass(request):
             # Credentialed request: relay through the edge without any
             # cache interaction.
@@ -154,18 +301,35 @@ class Transport:
                     edge_name, edge, request
                 )
         # Honor the client's validators at the edge: a matching ETag
-        # turns the answer into a (cheap to transfer) 304.
-        if response.status == Status.OK and revalidates(request, response):
+        # turns the answer into a (cheap to transfer) 304 — but never
+        # for a degraded stale-if-error serving, which must not pose as
+        # a confirmation that the client's copy is current.
+        if (
+            response.status == Status.OK
+            and not _is_degraded(response)
+            and revalidates(request, response)
+        ):
             response = make_not_modified(response, at=response.generated_at)
         self._count_bytes("edge_egress", response)
         client_link = self.topology.link(client_node, edge_name)
-        transit = client_link.one_way(self.rng) + client_link.transfer_time(
-            _content_length(response)
-        )
+        transit = client_link.one_way(self.rng) * self._latency_factor(
+            edge_name, client_node
+        ) + client_link.transfer_time(_content_length(response))
         # Edge storage round trips may pipeline under the client leg.
         yield from self._charge_store_latency(edge.store, concurrent=transit)
         yield self.env.timeout(transit)
         return response
+
+    def _fetch_many_direct(
+        self, client_node: str, requests: Sequence[Request]
+    ) -> Generator:
+        """Failover for a wave: parallel direct fetches, no edge."""
+        processes = [
+            self.env.process(self.fetch_direct(client_node, request))
+            for request in requests
+        ]
+        done = yield self.env.all_of(processes)
+        return [done[process] for process in processes]
 
     def fetch_many_via_cdn(
         self,
@@ -188,10 +352,29 @@ class Transport:
             return []
         if edge_name is None:
             edge_name = self.topology.nearest_edge(client_node, self.rng)
+        if self.breaker is not None and not self.breaker.allow(
+            edge_name, self.env.now
+        ):
+            self._count("breaker.pass_through")
+            responses = yield from self._fetch_many_direct(
+                client_node, requests
+            )
+            return responses
         edge = cdn.pop(edge_name)
         yield self.env.timeout(
             self.topology.one_way(client_node, edge_name, self.rng)
+            * self._latency_factor(client_node, edge_name)
         )
+        if self._node_fails(edge_name):
+            self._count("transport.edge_failures")
+            if self.breaker is not None:
+                self.breaker.record_failure(edge_name, self.env.now)
+            responses = yield from self._fetch_many_direct(
+                client_node, requests
+            )
+            return responses
+        if self.breaker is not None:
+            self.breaker.record_success(edge_name)
         responses: List[Optional[Response]] = [None] * len(requests)
         lookup = [
             index
@@ -221,8 +404,10 @@ class Transport:
                 responses[index] = done[process]
         total_length = 0
         for index, response in enumerate(responses):
-            if response.status == Status.OK and revalidates(
-                requests[index], response
+            if (
+                response.status == Status.OK
+                and not _is_degraded(response)
+                and revalidates(requests[index], response)
             ):
                 response = make_not_modified(
                     response, at=response.generated_at
@@ -231,9 +416,9 @@ class Transport:
             self._count_bytes("edge_egress", response)
             total_length += _content_length(response)
         client_link = self.topology.link(client_node, edge_name)
-        transit = client_link.one_way(self.rng) + client_link.transfer_time(
-            total_length
-        )
+        transit = client_link.one_way(self.rng) * self._latency_factor(
+            edge_name, client_node
+        ) + client_link.transfer_time(total_length)
         # The batched edge lookup drains once for the whole wave,
         # overlapping with the shared return leg where the engine can.
         yield from self._charge_store_latency(edge.store, concurrent=transit)
@@ -242,17 +427,7 @@ class Transport:
 
     def _relay_to_origin(self, edge_name: str, request: Request) -> Generator:
         """Edge-to-origin round trip with no cache involvement."""
-        origin_link = self.topology.link(edge_name, self.origin_node)
-        yield self.env.timeout(origin_link.one_way(self.rng))
-        response = self._origin_handle(request)
-        self._count_bytes("origin_egress", response)
-        transit = origin_link.one_way(self.rng) + origin_link.transfer_time(
-            _content_length(response)
-        )
-        yield from self._charge_store_latency(
-            self._origin_store, concurrent=transit
-        )
-        yield self.env.timeout(transit)
+        response = yield from self._origin_exchange(edge_name, request)
         return response
 
     def _fill_from_origin(
@@ -265,30 +440,25 @@ class Transport:
             if base is not None
             else request
         )
-        origin_link = self.topology.link(edge_name, self.origin_node)
-        yield self.env.timeout(origin_link.one_way(self.rng))
-        upstream = self._origin_handle(upstream_request)
-        self._count_bytes("origin_egress", upstream)
-        transit = origin_link.one_way(self.rng) + origin_link.transfer_time(
-            _content_length(upstream)
+        upstream = yield from self._origin_exchange(
+            edge_name, upstream_request
         )
-        yield from self._charge_store_latency(
-            self._origin_store, concurrent=transit
-        )
-        yield self.env.timeout(transit)
         if upstream.status == Status.NOT_MODIFIED and base is not None:
             refreshed = edge.refresh(request, upstream, self.env.now)
             if refreshed is not None:
                 return refreshed
             # Entry vanished between lookup and refresh: full refetch.
-            yield self.env.timeout(origin_link.one_way(self.rng))
-            upstream = self._origin_handle(request)
-            self._count_bytes("origin_egress", upstream)
-            transit = origin_link.one_way(
-                self.rng
-            ) + origin_link.transfer_time(_content_length(upstream))
-            yield from self._charge_store_latency(
-                self._origin_store, concurrent=transit
+            upstream = yield from self._origin_exchange(edge_name, request)
+        if (
+            self.stale_if_error is not None
+            and upstream.status.is_server_error
+        ):
+            # The fill failed: within the grace window the edge may
+            # answer with its (expired but recently verified) copy.
+            stale = edge.serve_stale_if_error(
+                request, self.env.now, self.stale_if_error
             )
-            yield self.env.timeout(transit)
+            if stale is not None:
+                self._count("transport.stale_if_error")
+                return stale
         return edge.admit(request, upstream, self.env.now)

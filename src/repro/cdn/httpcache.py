@@ -104,6 +104,31 @@ class HttpCache:
         response.served_by = self.name
         return response
 
+    def serve_stale_if_error(
+        self, request: Request, now: float, grace: float
+    ) -> Optional[Response]:
+        """A bounded-stale copy after a failed upstream fetch.
+
+        Serves the stored entry — expired or not — provided it was
+        last verified against the origin (stored or 304-restamped)
+        within ``grace`` seconds, so its version staleness stays within
+        the normal bound plus ``grace``. The copy is marked
+        ``X-Stale-If-Error`` so downstream caches refuse to re-admit it
+        (admission would restamp the verification time and double the
+        window) and the Δ-checker can account for it under the widened
+        bound.
+        """
+        if grace < 0:
+            return None
+        entry = self.store.peek(request.url.cache_key())
+        if entry is None or now - entry.stored_at > grace:
+            return None
+        response = entry.response.copy()
+        response.served_by = self.name
+        response.headers["X-Stale-If-Error"] = "1"
+        self._count("stale_if_error")
+        return response
+
     def revalidation_base(
         self, request: Request, now: float
     ) -> Optional[Response]:
@@ -116,9 +141,17 @@ class HttpCache:
     def admit(
         self, request: Request, response: Response, now: float
     ) -> Response:
-        """Store a fetched response if allowed; return a forwardable copy."""
-        if response.status == Status.OK and is_cacheable(
-            response, shared=self.shared
+        """Store a fetched response if allowed; return a forwardable copy.
+
+        Degraded stale-if-error servings are never admitted: their
+        verification time lies with the cache that served them, and
+        restamping them here would let the grace window compound across
+        tiers.
+        """
+        if (
+            response.status == Status.OK
+            and response.headers.get("X-Stale-If-Error") is None
+            and is_cacheable(response, shared=self.shared)
         ):
             key = request.url.cache_key()
             self.store.put(key, response.copy(), now)

@@ -58,6 +58,7 @@ class PopReplicator:
         #: sent at or before these instants are dropped on arrival.
         self._purged_at: Dict[str, float] = {}
         self._purged_prefixes: List[Tuple[str, float]] = []
+        self._last_prune = 0.0
         #: In-flight replica count per key (for purge-time accounting).
         self._in_flight: Dict[str, int] = {}
         cdn.attach_replicator(self)
@@ -97,15 +98,34 @@ class PopReplicator:
             # applying it would re-poison the sibling past the purge.
             self.metrics.counter("replication.dropped_purged").inc()
             return
-        if key in sibling.store:
-            self.metrics.counter("replication.dropped_present").inc()
-            return
+        resident = sibling.store.peek(key)
+        if resident is not None:
+            if is_fresh_at(resident.response, self.env.now, shared=True):
+                # The sibling's own copy is still serving; keep it.
+                self.metrics.counter("replication.dropped_present").inc()
+                return
+            if not self._newer_than(response, resident.response):
+                # The resident is expired but the replica is no newer:
+                # replacing it could regress a client's observed
+                # version, so leave the expired copy to revalidate.
+                self.metrics.counter("replication.dropped_present").inc()
+                return
         if not is_fresh_at(response, self.env.now, shared=True):
             self.metrics.counter("replication.dropped_stale").inc()
             return
+        if resident is not None:
+            self.metrics.counter("replication.replaced_stale").inc()
         sibling.store.put(key, response, self.env.now)
         self.metrics.counter(f"edge.{name}.replicated").inc()
         self.metrics.counter("replication.applied").inc()
+
+    @staticmethod
+    def _newer_than(replica: Response, resident: Response) -> bool:
+        """Whether applying ``replica`` over ``resident`` can only move
+        observed versions forward."""
+        if replica.version is None or resident.version is None:
+            return False
+        return replica.version > resident.version
 
     def _superseded(self, key: str, sent_at: float) -> bool:
         purged = self._purged_at.get(key)
@@ -122,11 +142,36 @@ class PopReplicator:
         """The CDN purged these keys right now; in-flight replicas sent
         before this instant must not apply."""
         now = self.env.now
+        self._prune(now)
         for key in keys:
             self._purged_at[key] = now
 
     def note_purged_prefix(self, prefix: str) -> None:
+        self._prune(self.env.now)
         self._purged_prefixes.append((prefix, self.env.now))
+
+    def _prune(self, now: float) -> None:
+        """Drop purge records no live replica can match.
+
+        Every replica travels exactly ``delay``, so any still-in-flight
+        replica was sent at or after ``now - delay``; a purge record
+        stamped before that can never supersede one again. Pruning at
+        most once per delay window keeps the bookkeeping O(recent
+        purges) over an arbitrarily long run instead of growing with
+        every purge ever issued.
+        """
+        if now - self._last_prune < self.delay:
+            return
+        self._last_prune = now
+        horizon = now - self.delay
+        self._purged_at = {
+            key: at for key, at in self._purged_at.items() if at >= horizon
+        }
+        self._purged_prefixes = [
+            (prefix, at)
+            for prefix, at in self._purged_prefixes
+            if at >= horizon
+        ]
 
     # -- accounting --------------------------------------------------------
 

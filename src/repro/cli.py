@@ -110,6 +110,31 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         help="deploy N regional PoPs and asynchronously replicate "
         "admitted entries between them",
     )
+    from repro.faults import PROFILES
+
+    parser.add_argument(
+        "--fault-profile",
+        default=None,
+        choices=list(PROFILES),
+        help="inject a named fault regime (origin outages/brownouts, "
+        "PoP failures, link loss, latency spikes, storage errors)",
+    )
+    parser.add_argument(
+        "--stale-if-error",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve cached copies verified within this grace window "
+        "when upstream fails; widens the checked Δ bound by the window",
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="enable retry-with-backoff for origin exchanges with this "
+        "total per-request time budget",
+    )
 
 
 def _backend_spec(args) -> Optional[BackendSpec]:
@@ -142,6 +167,25 @@ def _replication_kwargs(args) -> dict:
     if n_regions is None:
         return {}
     return {"replicate_pops": True, "n_regions": n_regions}
+
+
+def _fault_kwargs(args) -> dict:
+    """ScenarioSpec kwargs for the fault-tolerance flags."""
+    kwargs: dict = {}
+    profile_name = getattr(args, "fault_profile", None)
+    if profile_name is not None:
+        from repro.faults import FaultProfile
+
+        kwargs["fault_profile"] = FaultProfile.named(profile_name)
+    stale_if_error = getattr(args, "stale_if_error", None)
+    if stale_if_error is not None:
+        kwargs["stale_if_error"] = stale_if_error
+    retry_budget = getattr(args, "retry_budget", None)
+    if retry_budget is not None:
+        from repro.faults import RetryPolicy
+
+        kwargs["retry"] = RetryPolicy(budget=retry_budget)
+    return kwargs
 
 
 def _build_workload(args):
@@ -182,6 +226,7 @@ def cmd_run(args) -> int:
         backend=_backend_spec(args),
         batch_waves=args.batch_waves,
         **_replication_kwargs(args),
+        **_fault_kwargs(args),
     )
     result = _run(spec, workload)
     if args.json:
@@ -213,6 +258,7 @@ def cmd_compare(args) -> int:
                     backend=_backend_spec(args),
                     batch_waves=args.batch_waves,
                     **_replication_kwargs(args),
+                    **_fault_kwargs(args),
                 ),
                 workload,
             )
@@ -250,6 +296,7 @@ def cmd_sweep_delta(args) -> int:
                 backend=_backend_spec(args),
                 batch_waves=args.batch_waves,
                 **_replication_kwargs(args),
+                **_fault_kwargs(args),
             ),
             workload,
         )
@@ -279,6 +326,7 @@ def cmd_sweep_segments(args) -> int:
                 backend=_backend_spec(args),
                 batch_waves=args.batch_waves,
                 **_replication_kwargs(args),
+                **_fault_kwargs(args),
             ),
             workload,
         )
@@ -311,6 +359,7 @@ def cmd_report(args) -> int:
                     backend=_backend_spec(args),
                     batch_waves=args.batch_waves,
                     **_replication_kwargs(args),
+                    **_fault_kwargs(args),
                 ),
                 workload,
             )

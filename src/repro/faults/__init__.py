@@ -1,0 +1,25 @@
+"""Fault injection and graceful degradation.
+
+Everything that makes the simulated world imperfect lives here: the
+declarative :class:`FaultProfile` vocabulary, the seeded
+:class:`FaultInjector` one run consults, the transport-side resilience
+primitives (:class:`RetryPolicy`, :class:`CircuitBreaker`), and the
+flaky storage wrapper (:class:`FlakyBackend` via
+:class:`FaultyBackendSpec`).
+"""
+
+from repro.faults.backend import FaultyBackendSpec, FlakyBackend
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.profiles import PROFILES, FaultProfile
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "PROFILES",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultyBackendSpec",
+    "FlakyBackend",
+    "RetryPolicy",
+]

@@ -86,6 +86,23 @@ def render_report(
         "",
     ]
 
+    if any(result.failed_responses for result in results):
+        availability_rows = [
+            {
+                "scenario": result.scenario_name,
+                "availability": round(result.availability(), 4),
+                "failed_5xx": result.failed_responses,
+                "error_rate": round(result.error_rate(), 4),
+            }
+            for result in results
+        ]
+        sections += [
+            "## Availability under faults",
+            "",
+            _code_block(format_table(availability_rows)),
+            "",
+        ]
+
     if len(results) >= 2 and len(results[-1].plt) and len(results[-2].plt):
         ab = compare_scenarios(
             results[-2], results[-1], model or ConversionModel()

@@ -90,6 +90,15 @@ class RunResult:
             return 0.0
         return self.failed_responses / total
 
+    def availability(self) -> float:
+        """Fraction of responses served successfully (1 − error rate).
+
+        Degraded servings (stale-if-error, offline mode) count as
+        successes — that trade is exactly the availability story the
+        fault experiments measure.
+        """
+        return 1.0 - self.error_rate()
+
     def personalization_rate(self) -> float:
         """Fraction of logged-in page views personalized correctly."""
         if not self.personalization_checks:
@@ -118,6 +127,7 @@ class RunResult:
             "delta_violations": self.delta_violations,
             "failed_responses": self.failed_responses,
             "error_rate": self.error_rate(),
+            "availability": self.availability(),
             "personalization_rate": self.personalization_rate(),
             "sketch_fetches": self.sketch_fetches,
             "sketch_bytes": self.sketch_bytes,

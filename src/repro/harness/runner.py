@@ -29,6 +29,7 @@ from repro.origin.server import StaticTtlPolicy
 from repro.ttl.policy import AdaptiveTtlPolicy
 from repro.harness.results import RunResult
 from repro.harness.scenarios import Scenario, ScenarioSpec
+from repro.storage import BackendSpec
 from repro.workload.catalog import Catalog
 from repro.workload.pages import PageBuilder
 from repro.workload.sitebuilder import build_ecommerce_site
@@ -108,6 +109,16 @@ class SimulationRunner:
             slack += self.spec.replication_delay
         return slack
 
+    def _stale_if_error_grace(self) -> float:
+        """Extra staleness budget opened by bounded stale-if-error.
+
+        A degraded serving re-issues a copy *verified current* within
+        the grace window, so its version staleness exceeds the normal
+        bound by at most that window. (Unbounded offline-mode servings
+        are excluded from checking instead.)
+        """
+        return self.spec.stale_if_error or 0.0
+
     def _checker_delta(self) -> float:
         scenario = self.spec.scenario
         if scenario in (
@@ -125,7 +136,11 @@ class SimulationRunner:
                     + self.spec.purge_latency
                     + _SLACK,
                 )
-            return bound + self._async_propagation_slack()
+            return (
+                bound
+                + self._async_propagation_slack()
+                + self._stale_if_error_grace()
+            )
         if scenario is Scenario.SPEED_KIT_SKETCH_ONLY:
             # Without purges, edges serve (and 304-confirm) stale copies
             # until shared expiry: the bound degrades by the TTL.
@@ -134,10 +149,58 @@ class SimulationRunner:
                 + self.spec.page_ttl
                 + _SLACK
                 + self._async_propagation_slack()
+                + self._stale_if_error_grace()
             )
         # Expiration-based stacks are bounded by TTL accumulation only;
         # the checker records staleness without judging violations.
         return float("inf")
+
+    def _cache_backend_spec(self) -> Optional[BackendSpec]:
+        """The storage spec every *cache* tier builds engines from.
+
+        A fault profile with storage read errors wraps the scenario's
+        spec (or the default in-memory engine) in the flaky wrapper, so
+        edges, browser caches, and service workers all fail reads at
+        the profile's rate — each with its own salted failure stream.
+        The origin document store stays unwrapped: it is the source of
+        truth, and origin failure is modeled by outages/brownouts.
+        """
+        profile = self.spec.fault_profile
+        if profile is None or profile.storage_error_rate <= 0:
+            return self.spec.backend
+        from repro.faults import FaultyBackendSpec
+
+        return FaultyBackendSpec.wrapping(
+            self.spec.backend or BackendSpec(),
+            error_rate=profile.storage_error_rate,
+            fault_seed=self.spec.seed,
+        )
+
+    def _build_faults(self):
+        """The run's fault schedule (or ``None`` in the perfect world).
+
+        A configured fault profile builds a seeded
+        :class:`~repro.faults.injector.FaultInjector`; the legacy
+        single-window ``outage`` knob composes on top of it, or stands
+        alone as a plain :class:`~repro.simnet.faults.FaultSchedule`.
+        """
+        spec = self.spec
+        if spec.fault_profile is not None and spec.fault_profile.is_active:
+            injector = spec.fault_profile.build(
+                duration=self.trace.duration,
+                pop_names=(
+                    self._pop_names if spec.scenario.uses_cdn else ()
+                ),
+                seed=spec.seed,
+            )
+            if spec.outage is not None:
+                injector.add_outage("origin", *spec.outage)
+            return injector
+        if spec.outage is not None:
+            from repro.simnet.faults import FaultSchedule
+
+            return FaultSchedule.origin_outage(*spec.outage)
+        return None
 
     def _build(self) -> None:
         spec = self.spec
@@ -174,6 +237,7 @@ class SimulationRunner:
             edge_regions=edge_regions,
         )
 
+        self._cache_spec = self._cache_backend_spec()
         site = self._build_site()
         self.server = OriginServer(site, ttl_policy=self._ttl_policy())
         self.cdn: Optional[Cdn] = None
@@ -183,7 +247,7 @@ class SimulationRunner:
             self.cdn = Cdn(
                 self._pop_names,
                 metrics=self.metrics,
-                backend_spec=spec.backend,
+                backend_spec=self._cache_spec,
             )
             if spec.replicate_pops and len(self._pop_names) > 1:
                 from repro.cdn.replication import PopReplicator
@@ -207,12 +271,18 @@ class SimulationRunner:
                 purge_latency=spec.purge_latency,
                 metrics=self.metrics,
             )
-        faults = None
-        if spec.outage is not None:
-            from repro.simnet.faults import FaultSchedule
-
-            faults = FaultSchedule.origin_outage(*spec.outage)
+        faults = self._build_faults()
         self._faults = faults
+        breaker = None
+        if (
+            scenario.uses_cdn
+            and spec.fault_profile is not None
+            and spec.fault_profile.is_active
+        ):
+            from repro.faults import CircuitBreaker
+
+            breaker = CircuitBreaker(metrics=self.metrics)
+        self.breaker = breaker
         self.transport = Transport(
             self.env,
             self.topology,
@@ -220,6 +290,9 @@ class SimulationRunner:
             self.streams.stream("network"),
             faults=faults,
             metrics=self.metrics,
+            retry=spec.retry,
+            breaker=breaker,
+            stale_if_error=spec.stale_if_error,
         )
         self.checker = DeltaAtomicityChecker(
             self.server, delta=self._checker_delta(), metrics=self.metrics
@@ -263,14 +336,14 @@ class SimulationRunner:
     def _browser_cache(self, node: str):
         """A browser cache on the scenario's storage engine (or the
         client default when no backend is selected)."""
-        if self.spec.backend is None:
+        if self._cache_spec is None:
             return None
         from repro.browser.cache import BrowserCache
 
         return BrowserCache(
             f"browser:{node}",
             metrics=self.metrics,
-            backend=self.spec.backend.build(salt=f"browser:{node}"),
+            backend=self._cache_spec.build(salt=f"browser:{node}"),
         )
 
     def _speedkit_config(self) -> SpeedKitConfig:
@@ -278,8 +351,9 @@ class SimulationRunner:
         config.sketch_refresh_interval = self.spec.delta
         config.stale_while_revalidate = self.spec.stale_while_revalidate
         config.swr_staleness_budget = 2 * self.spec.delta
-        if self.spec.backend is not None:
-            config.backend = self.spec.backend
+        config.stale_if_error_window = self.spec.stale_if_error
+        if self._cache_spec is not None:
+            config.backend = self._cache_spec
         if self.spec.scenario is Scenario.SPEED_KIT_NO_SEGMENTS:
             config.segment_personalized = []
         return config

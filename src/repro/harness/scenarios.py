@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.storage import BackendSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.faults import FaultProfile, RetryPolicy
 
 
 class Scenario(enum.Enum):
@@ -85,6 +88,18 @@ class ScenarioSpec:
     replicate_pops: bool = False
     #: PoP-to-PoP propagation delay in simulated seconds.
     replication_delay: float = 0.05
+    #: Fault regime for the run (see :mod:`repro.faults`): origin
+    #: outages/brownouts, PoP failures, link loss/latency spikes,
+    #: storage read errors. ``None`` keeps the perfect world. Composes
+    #: with the legacy single-window ``outage`` knob.
+    fault_profile: Optional["FaultProfile"] = None
+    #: Grace window (seconds) for bounded stale-if-error serving at the
+    #: edge and in the service worker; widens the checked Δ bound by
+    #: exactly this amount. ``None`` disables it.
+    stale_if_error: Optional[float] = None
+    #: Retry-with-backoff policy for origin exchanges; ``None`` keeps
+    #: the historical single-attempt fail-fast behaviour.
+    retry: Optional["RetryPolicy"] = None
     label: Optional[str] = None
 
     @property

@@ -75,12 +75,26 @@ class SpeedKitConfig:
     #: seconds, which is therefore the staleness bound in this mode.
     stale_while_revalidate: bool = False
     swr_staleness_budget: float = 120.0
+    #: Stale-if-error: when an upstream fetch fails (5xx), serve the
+    #: cached copy if it was verified current within this many seconds —
+    #: a *bounded* degradation (the grace widens the checked Δ bound by
+    #: exactly this window), unlike ``offline_mode`` which is unbounded.
+    #: ``None`` disables it.
+    stale_if_error_window: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.sketch_refresh_interval <= 0:
             raise ValueError(
                 "sketch_refresh_interval must be positive, got "
                 f"{self.sketch_refresh_interval}"
+            )
+        if (
+            self.stale_if_error_window is not None
+            and self.stale_if_error_window < 0
+        ):
+            raise ValueError(
+                "stale_if_error_window must be >= 0, got "
+                f"{self.stale_if_error_window}"
             )
         self.backend = BackendSpec.parse(self.backend)
 
@@ -108,6 +122,7 @@ class SpeedKitConfig:
             "offline_mode": self.offline_mode,
             "stale_while_revalidate": self.stale_while_revalidate,
             "swr_staleness_budget": self.swr_staleness_budget,
+            "stale_if_error_window": self.stale_if_error_window,
         }
 
     @classmethod
@@ -128,6 +143,7 @@ class SpeedKitConfig:
             "offline_mode",
             "stale_while_revalidate",
             "swr_staleness_budget",
+            "stale_if_error_window",
         }
         unknown = set(data) - known
         if unknown:

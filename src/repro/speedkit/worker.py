@@ -218,11 +218,13 @@ class ServiceWorkerProxy:
 
         if decision is ReadDecision.SERVE_FROM_CACHE and sketch is None:
             # The sketch service is unreachable: without a usable
-            # sketch the Δ guarantee lapses. Either serve knowingly
-            # degraded (offline mode) or fall back to revalidation.
-            if self.config.offline_mode:
+            # sketch the Δ guarantee lapses. Serve degraded if allowed
+            # (bounded stale-if-error first, unbounded offline second)
+            # or fall back to revalidation.
+            degraded = self._serve_degraded(scrubbed, cached)
+            if degraded is not None:
                 self.cache._count("hit")
-                return self._serve_offline(cached)
+                return degraded
             decision = (
                 ReadDecision.REVALIDATE
                 if cached.etag is not None
@@ -252,13 +254,36 @@ class ServiceWorkerProxy:
         response = yield from self.transport.fetch_via_cdn(
             self.node, scrubbed, self.cdn
         )
-        if response.status.is_server_error and cached is not None and (
-            self.config.offline_mode
-        ):
-            return self._serve_offline(cached)
+        if response.status.is_server_error:
+            degraded = self._serve_degraded(scrubbed, cached)
+            if degraded is not None:
+                return degraded
         admitted = self.cache.admit(scrubbed, response, self._now)
         yield from self._charge_cache_latency()
         return admitted
+
+    def _serve_degraded(
+        self, scrubbed: Request, cached: Optional[Response]
+    ) -> Optional[Response]:
+        """The graceful-degradation ladder after an upstream failure.
+
+        Bounded stale-if-error first: within the configured grace
+        window the copy's verification age caps its staleness, so the
+        serving stays inside the widened Δ bound. Unbounded offline
+        mode is the last resort (and opts out of the bound entirely).
+        Returns ``None`` when no degraded serving is possible.
+        """
+        window = self.config.stale_if_error_window
+        if window is not None:
+            degraded = self.cache.serve_stale_if_error(
+                scrubbed, self._now, window
+            )
+            if degraded is not None:
+                self._count("stale_if_error_served")
+                return degraded
+        if cached is not None and self.config.offline_mode:
+            return self._serve_offline(cached)
+        return None
 
     def _serve_offline(self, cached: Response) -> Response:
         """Answer from cache during an outage.
@@ -306,10 +331,12 @@ class ServiceWorkerProxy:
             response = yield from self.transport.fetch_via_cdn(
                 self.node, scrubbed, self.cdn
             )
-        if response.status.is_server_error and self.config.offline_mode:
+        if response.status.is_server_error:
             # Origin down: keep answering from the device (the paper's
-            # offline-resilience story).
-            return self._serve_offline(cached)
+            # offline-resilience story), bounded where configured.
+            degraded = self._serve_degraded(scrubbed, cached)
+            if degraded is not None:
+                return degraded
         admitted = self.cache.admit(scrubbed, response, self._now)
         yield from self._charge_cache_latency()
         return admitted

@@ -23,6 +23,7 @@ import random
 
 import pytest
 
+from repro.faults import PROFILES, RetryPolicy
 from repro.harness import Scenario, ScenarioSpec, SimulationRunner
 from repro.storage import BackendSpec
 from repro.workload import (
@@ -48,6 +49,22 @@ CONFIGS = {
     "replicated": dict(replicate_pops=True, n_regions=3),
     "write-behind-replicated": dict(
         backend=BackendSpec(kind="write-behind"),
+        replicate_pops=True,
+        n_regions=3,
+    ),
+    # Fault-injected runs: the guarantee must survive origin outages,
+    # flaky links, and failing PoPs — with the bound widened by the
+    # stale-if-error grace window and unbounded offline servings
+    # excluded from the check.
+    "faulted": dict(
+        fault_profile=PROFILES["outage"],
+        stale_if_error=60.0,
+        retry=RetryPolicy(),
+    ),
+    "chaos-replicated": dict(
+        fault_profile=PROFILES["chaos"],
+        stale_if_error=60.0,
+        retry=RetryPolicy(),
         replicate_pops=True,
         n_regions=3,
     ),
@@ -174,6 +191,12 @@ class TestBoundAccounting:
         )
 
     @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_stale_if_error_widens_by_grace_window(self, seed):
+        base = run_config("sync-remote", seed).checker.delta
+        wide = run_config("faulted", seed).checker.delta
+        assert wide == pytest.approx(base + 60.0)
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
     def test_combined_config_accumulates_both_terms(self, seed):
         base = run_config("sync-remote", seed).checker.delta
         wide = run_config("write-behind-replicated", seed).checker.delta
@@ -182,6 +205,27 @@ class TestBoundAccounting:
         assert wide == pytest.approx(
             base + flush + spec.replication_delay
         )
+
+
+class TestFaultActivity:
+    """The faulted configs really injected faults (not a silent no-op):
+    the invariants above are checked during and after actual outages."""
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_origin_really_went_down(self, seed):
+        runner = run_config("faulted", seed)
+        assert runner._faults.total_downtime("origin") > 0
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_failures_were_observed_by_clients(self, seed):
+        runner = run_config("faulted", seed)
+        degraded = runner.metrics.counter("transport.stale_if_error").value
+        assert runner.result.failed_responses + degraded > 0
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_chaos_run_stays_available(self, seed):
+        runner = run_config("chaos-replicated", seed)
+        assert runner.result.availability() > 0.5
 
 
 class TestReplicationActivity:

@@ -1,0 +1,83 @@
+"""Tests for the per-PoP circuit breaker state machine."""
+
+import pytest
+
+from repro.faults import CircuitBreaker
+
+
+class TestClosed:
+    def test_allows_by_default(self):
+        breaker = CircuitBreaker()
+        assert breaker.allow("edge", 0.0)
+        assert not breaker.is_open("edge", 0.0)
+
+    def test_isolated_failures_do_not_trip(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure("edge", 0.0)
+        breaker.record_failure("edge", 1.0)
+        breaker.record_success("edge")
+        breaker.record_failure("edge", 2.0)
+        breaker.record_failure("edge", 3.0)
+        assert breaker.allow("edge", 4.0)
+        assert breaker.trips == 0
+
+
+class TestOpen:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=30.0)
+        for t in range(3):
+            breaker.record_failure("edge", float(t))
+        assert breaker.is_open("edge", 3.0)
+        assert not breaker.allow("edge", 3.0)
+        assert breaker.trips == 1
+
+    def test_targets_are_independent(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("edge-a", 0.0)
+        assert not breaker.allow("edge-a", 0.0)
+        assert breaker.allow("edge-b", 0.0)
+
+    def test_stays_open_through_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=30.0)
+        breaker.record_failure("edge", 0.0)
+        assert not breaker.allow("edge", 29.9)
+
+
+class TestHalfOpen:
+    def test_one_probe_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=30.0)
+        breaker.record_failure("edge", 0.0)
+        assert breaker.allow("edge", 31.0)  # the probe
+        assert not breaker.allow("edge", 31.0)  # only one at a time
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=30.0)
+        breaker.record_failure("edge", 0.0)
+        assert breaker.allow("edge", 31.0)
+        breaker.record_success("edge")
+        assert breaker.allow("edge", 31.0)
+        assert not breaker.is_open("edge", 31.0)
+
+    def test_probe_failure_rearms_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=30.0)
+        breaker.record_failure("edge", 0.0)
+        assert breaker.allow("edge", 31.0)
+        breaker.record_failure("edge", 31.0)
+        assert not breaker.allow("edge", 60.0)  # 31 + 30 > 60
+        assert breaker.allow("edge", 61.5)  # next probe
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_cooldown_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)
+
+    def test_trip_metrics(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("edge", 0.0)
+        assert breaker.metrics.counter("breaker.trips").value == 1
+        assert breaker.metrics.counter("breaker.edge.opened").value == 1

@@ -1,0 +1,72 @@
+"""Tests for the declarative fault profiles and their validation."""
+
+import pytest
+
+from repro.faults import PROFILES, FaultProfile
+
+
+class TestValidation:
+    def test_default_profile_is_inactive(self):
+        assert not FaultProfile().is_active
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "origin_outage_fraction",
+            "origin_brownout_rate",
+            "pop_outage_fraction",
+            "link_loss_rate",
+            "latency_spike_rate",
+            "storage_error_rate",
+        ],
+    )
+    def test_fractions_must_be_in_unit_interval(self, field):
+        with pytest.raises(ValueError):
+            FaultProfile(**{field: 1.5})
+        with pytest.raises(ValueError):
+            FaultProfile(**{field: -0.1})
+
+    def test_any_nonzero_rate_activates(self):
+        for field in (
+            "origin_outage_fraction",
+            "origin_brownout_rate",
+            "pop_outage_fraction",
+            "link_loss_rate",
+            "latency_spike_rate",
+            "storage_error_rate",
+        ):
+            assert FaultProfile(**{field: 0.1}).is_active
+
+    def test_spike_factor_must_slow_not_speed_up(self):
+        with pytest.raises(ValueError):
+            FaultProfile(latency_spike_factor=0.5)
+
+    def test_outage_count_positive(self):
+        with pytest.raises(ValueError):
+            FaultProfile(origin_outage_count=0)
+
+
+class TestRegistry:
+    def test_canonical_names(self):
+        assert set(PROFILES) == {
+            "none",
+            "outage",
+            "flaky",
+            "pop-down",
+            "chaos",
+        }
+
+    def test_named_lookup(self):
+        assert FaultProfile.named("outage").origin_outage_fraction == 0.10
+
+    def test_named_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            FaultProfile.named("earthquake")
+
+    def test_none_profile_is_inactive(self):
+        assert not PROFILES["none"].is_active
+
+    def test_all_other_profiles_are_active(self):
+        for name, profile in PROFILES.items():
+            if name != "none":
+                assert profile.is_active, name
