@@ -1,0 +1,11 @@
+"""Repo-level pytest options (golden-trace maintenance)."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite committed golden trace files from the current run "
+        "instead of comparing against them",
+    )

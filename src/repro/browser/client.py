@@ -10,6 +10,7 @@ from repro.cdn.network import Cdn
 from repro.browser.transport import Transport
 from repro.http.freshness import conditional_request_for
 from repro.http.messages import Request, Response, Status
+from repro.obs.tracer import NOOP_TRACER
 from repro.sim.metrics import MetricRegistry
 
 
@@ -50,6 +51,7 @@ class BrowserClient:
         cdn: Optional[Cdn] = None,
         cache: Optional[BrowserCache] = None,
         metrics: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> None:
         if mode is TransportMode.CDN and cdn is None:
             raise ValueError("CDN mode needs a Cdn instance")
@@ -58,6 +60,7 @@ class BrowserClient:
         self.mode = mode
         self.cdn = cdn
         self.metrics = metrics or MetricRegistry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.cache = cache or BrowserCache(
             f"browser:{node}", metrics=self.metrics
         )
@@ -81,18 +84,35 @@ class BrowserClient:
 
     def fetch(self, request: Request) -> Generator:
         """Resolve one request (generator sub-process)."""
+        span = self.tracer.start(
+            "browser",
+            self.transport.env.now,
+            parent=request.trace,
+            node=self.node,
+            tier="browser",
+        )
+        request.trace = span.context
+        response = yield from self._fetch_inner(request, span)
+        span.set(status=int(response.status), served_by=response.served_by)
+        self.tracer.finish(span, self.transport.env.now)
+        return response
+
+    def _fetch_inner(self, request: Request, span) -> Generator:
         if not request.method.is_safe:
+            span.set(verdict="pass")
             response = yield from self._transport_fetch(request)
             return response
         cached = self.cache.serve(request, self.transport.env.now)
         yield from self._charge_cache_latency()
         if cached is not None:
+            span.set(verdict="hit", version=cached.version)
             return cached
 
         base = self.cache.revalidation_base(
             request, self.transport.env.now
         )
         if base is not None:
+            span.set(verdict="revalidate")
             conditional = conditional_request_for(request, base)
             response = yield from self._transport_fetch(conditional)
             if response.status == Status.NOT_MODIFIED:
@@ -101,14 +121,17 @@ class BrowserClient:
                 )
                 if refreshed is not None:
                     yield from self._charge_cache_latency()
+                    span.set(revalidated="304", version=refreshed.version)
                     return refreshed
                 response = yield from self._transport_fetch(request)
+            span.set(revalidated="refetch")
             admitted = self.cache.admit(
                 request, response, self.transport.env.now
             )
             yield from self._charge_cache_latency()
             return admitted
 
+        span.set(verdict="miss")
         response = yield from self._transport_fetch(request)
         admitted = self.cache.admit(request, response, self.transport.env.now)
         yield from self._charge_cache_latency()

@@ -15,6 +15,8 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.http.messages import Request, Response
 from repro.http.url import URL
+from repro.obs.analysis import response_attrs
+from repro.obs.tracer import NOOP_TRACER
 from repro.sim.environment import Environment
 
 
@@ -101,6 +103,7 @@ class PageLoadEngine:
         fetcher,
         max_parallel: int = 6,
         batch_waves: bool = False,
+        tracer=None,
     ) -> None:
         if max_parallel < 1:
             raise ValueError(f"max_parallel must be >= 1: {max_parallel}")
@@ -108,23 +111,43 @@ class PageLoadEngine:
         self.fetcher = fetcher
         self.max_parallel = max_parallel
         self.batch_waves = batch_waves
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     def load(
-        self, page: PageSpec, headers: Optional[dict] = None
+        self, page: PageSpec, headers: Optional[dict] = None, trace=None
     ) -> Generator:
-        """Load a page (generator sub-process returning PageLoadResult)."""
+        """Load a page (generator sub-process returning PageLoadResult).
+
+        ``trace`` is an optional parent span context; when set, every
+        resource fetch records a ``request`` span under it carrying its
+        wave/slot position and the response's serving metadata.
+        """
         from repro.http.headers import Headers
 
         started_at = self.env.now
         responses: List[Response] = []
 
         html_request = Request.get(page.html, headers=Headers(headers or {}))
+        span = self.tracer.start(
+            "request",
+            self.env.now,
+            parent=trace,
+            tier="client",
+            url=str(page.html),
+            wave=0,
+            slot=0,
+        )
+        html_request.trace = span.context
         html_response = yield from self.fetcher.fetch(html_request)
+        span.set(**response_attrs(html_response))
+        self.tracer.finish(span, self.env.now)
         responses.append(html_response)
         html_at = self.env.now
 
-        for wave in page.waves():
-            wave_responses = yield from self._load_wave(wave, headers)
+        for wave_index, wave in enumerate(page.waves(), start=1):
+            wave_responses = yield from self._load_wave(
+                wave, headers, trace, wave_index
+            )
             responses.extend(wave_responses)
 
         return PageLoadResult(
@@ -135,8 +158,20 @@ class PageLoadEngine:
             responses=responses,
         )
 
+    def _traced_fetch(self, request: Request, span) -> Generator:
+        """One single fetch wrapped so its span ends when *it* ends,
+        not when the whole slot's barrier completes."""
+        response = yield from self.fetcher.fetch(request)
+        span.set(**response_attrs(response))
+        self.tracer.finish(span, self.env.now)
+        return response
+
     def _load_wave(
-        self, wave: List[PageResource], headers: Optional[dict]
+        self,
+        wave: List[PageResource],
+        headers: Optional[dict],
+        trace=None,
+        wave_index: int = 1,
     ) -> Generator:
         """Fetch one wave with bounded parallelism."""
         from repro.http.headers import Headers
@@ -153,20 +188,50 @@ class PageLoadEngine:
         index = 0
         while index < len(pending):
             batch = pending[index : index + self.max_parallel]
+            slot = index // self.max_parallel
             requests = [
                 Request.get(resource.url, headers=Headers(headers or {}))
                 for resource in batch
             ]
             if fetch_many is not None:
                 # One multiplexed lookup for the whole slot.
+                span = self.tracer.start(
+                    "request-batch",
+                    self.env.now,
+                    parent=trace,
+                    tier="client",
+                    wave=wave_index,
+                    slot=slot,
+                    n=len(requests),
+                )
+                for request in requests:
+                    request.trace = span.context
                 batch_responses = yield from fetch_many(requests)
+                span.set(
+                    responses=[
+                        response_attrs(response)
+                        for response in batch_responses
+                    ]
+                )
+                self.tracer.finish(span, self.env.now)
                 for offset, response in enumerate(batch_responses):
                     responses.append((index + offset, response))
             else:
-                processes = [
-                    self.env.process(self.fetcher.fetch(request))
-                    for request in requests
-                ]
+                processes = []
+                for request in requests:
+                    span = self.tracer.start(
+                        "request",
+                        self.env.now,
+                        parent=trace,
+                        tier="client",
+                        url=str(request.url),
+                        wave=wave_index,
+                        slot=slot,
+                    )
+                    request.trace = span.context
+                    processes.append(
+                        self.env.process(self._traced_fetch(request, span))
+                    )
                 done = yield self.env.all_of(processes)
                 for offset, process in enumerate(processes):
                     responses.append((index + offset, done[process]))

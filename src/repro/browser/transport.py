@@ -35,6 +35,8 @@ from repro.http.messages import (
     make_not_modified,
     revalidates,
 )
+from repro.obs.span import NULL_SPAN
+from repro.obs.tracer import NOOP_TRACER
 from repro.origin.server import OriginServer
 from repro.sim.environment import Environment
 from repro.simnet.topology import Topology
@@ -74,6 +76,7 @@ class Transport:
         retry=None,
         breaker=None,
         stale_if_error: Optional[float] = None,
+        tracer=None,
     ) -> None:
         self.env = env
         self.topology = topology
@@ -85,6 +88,7 @@ class Transport:
         self.retry = retry
         self.breaker = breaker
         self.stale_if_error = stale_if_error
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     def _count_bytes(self, which: str, response: Response) -> None:
         """Egress accounting: who paid for these bytes."""
@@ -167,7 +171,7 @@ class Transport:
         )
 
     def _origin_attempt(
-        self, from_node: str, request: Request, attempt_timeout: float
+        self, from_node: str, request: Request, attempt_timeout: float, span
     ) -> Generator:
         """One request/response try against the origin.
 
@@ -178,6 +182,7 @@ class Transport:
         link = self.topology.link(from_node, self.origin_node)
         if self._loses_message(from_node, self.origin_node):
             self._count("transport.lost_requests")
+            span.event("lost-request", at=self.env.now)
             yield self.env.timeout(attempt_timeout)
             return None
         forward = self.topology.one_way(
@@ -190,6 +195,7 @@ class Transport:
             # The origin did the work (and sent the bytes), but the
             # reply never arrives; the sender times out the remainder.
             self._count("transport.lost_responses")
+            span.event("lost-response", at=self.env.now)
             yield self.env.timeout(max(0.0, attempt_timeout - forward))
             return None
         transit = link.one_way(self.rng) * self._latency_factor(
@@ -205,7 +211,7 @@ class Transport:
         return response
 
     def _origin_exchange(
-        self, from_node: str, request: Request
+        self, from_node: str, request: Request, parent=None
     ) -> Generator:
         """One logical origin exchange: attempts, backoff, budget.
 
@@ -216,10 +222,32 @@ class Transport:
         or the time budget runs out; a request that never got an answer
         resolves to a synthesized, uncacheable 503.
         """
+        span = self.tracer.start(
+            "origin",
+            self.env.now,
+            parent=parent if parent is not None else request.trace,
+            node=self.origin_node,
+            tier="origin",
+            sender=from_node,
+        )
+        response = yield from self._origin_exchange_inner(
+            from_node, request, span
+        )
+        span.set(
+            status=int(response.status),
+            served_by=response.served_by,
+            synthesized=response.served_by == "network",
+        )
+        self.tracer.finish(span, self.env.now)
+        return response
+
+    def _origin_exchange_inner(
+        self, from_node: str, request: Request, span
+    ) -> Generator:
         policy = self.retry
         if policy is None:
             response = yield from self._origin_attempt(
-                from_node, request, DEFAULT_ATTEMPT_TIMEOUT
+                from_node, request, DEFAULT_ATTEMPT_TIMEOUT, span
             )
             return (
                 response
@@ -232,18 +260,22 @@ class Transport:
         while True:
             attempt += 1
             response = yield from self._origin_attempt(
-                from_node, request, policy.attempt_timeout
+                from_node, request, policy.attempt_timeout, span
             )
             if response is not None and not response.status.is_server_error:
+                span.set(attempts=attempt)
                 return response
             if attempt >= policy.max_attempts:
                 break
             backoff = policy.backoff_after(attempt)
             if self.env.now + backoff >= deadline:
                 self._count("transport.budget_exhausted")
+                span.event("budget-exhausted", at=self.env.now)
                 break
             self._count("transport.retries")
+            span.event("retry", at=self.env.now, backoff=backoff)
             yield self.env.timeout(backoff)
+        span.set(attempts=attempt)
         return (
             response if response is not None else self._network_error(request)
         )
@@ -251,10 +283,12 @@ class Transport:
     # -- direct path --------------------------------------------------------
 
     def fetch_direct(
-        self, client_node: str, request: Request
+        self, client_node: str, request: Request, parent=None
     ) -> Generator:
         """Client → origin, no intermediary cache."""
-        response = yield from self._origin_exchange(client_node, request)
+        response = yield from self._origin_exchange(
+            client_node, request, parent=parent
+        )
         return response
 
     # -- CDN path --------------------------------------------------------------
@@ -269,12 +303,25 @@ class Transport:
         """Client → nearest edge PoP → (origin on miss/stale)."""
         if edge_name is None:
             edge_name = self.topology.nearest_edge(client_node, self.rng)
+        span = self.tracer.start(
+            "transport",
+            self.env.now,
+            parent=request.trace,
+            node=edge_name,
+            tier="network",
+            mode="cdn",
+        )
         if self.breaker is not None and not self.breaker.allow(
             edge_name, self.env.now
         ):
             # Breaker open: bypass the PoP entirely, pass through.
             self._count("breaker.pass_through")
-            response = yield from self.fetch_direct(client_node, request)
+            span.event("breaker-open", at=self.env.now)
+            response = yield from self.fetch_direct(
+                client_node, request, parent=span
+            )
+            span.set(status=int(response.status), served_by=response.served_by)
+            self.tracer.finish(span, self.env.now)
             return response
         edge = cdn.pop(edge_name)
         yield self.env.timeout(
@@ -284,22 +331,40 @@ class Transport:
         if self._node_fails(edge_name):
             # The PoP is dark: fail over to the origin directly.
             self._count("transport.edge_failures")
+            span.event("edge-down", at=self.env.now)
             if self.breaker is not None:
                 self.breaker.record_failure(edge_name, self.env.now)
-            response = yield from self.fetch_direct(client_node, request)
+            response = yield from self.fetch_direct(
+                client_node, request, parent=span
+            )
+            span.set(status=int(response.status), served_by=response.served_by)
+            self.tracer.finish(span, self.env.now)
             return response
         if self.breaker is not None:
             self.breaker.record_success(edge_name)
+        edge_span = self.tracer.start(
+            "edge",
+            self.env.now,
+            parent=span,
+            node=edge_name,
+            tier="edge",
+            key=str(request.url),
+        )
         if edge.should_pass(request):
             # Credentialed request: relay through the edge without any
             # cache interaction.
-            response = yield from self._relay_to_origin(edge_name, request)
+            edge_span.set(verdict="pass")
+            response = yield from self._relay_to_origin(
+                edge_name, request, parent=edge_span
+            )
         else:
             response = edge.serve(request, self.env.now)
             if response is None:
                 response = yield from self._fill_from_origin(
-                    edge_name, edge, request
+                    edge_name, edge, request, span=edge_span
                 )
+            else:
+                edge_span.set(verdict="hit", version=response.version)
         # Honor the client's validators at the edge: a matching ETag
         # turns the answer into a (cheap to transfer) 304 — but never
         # for a degraded stale-if-error serving, which must not pose as
@@ -310,6 +375,7 @@ class Transport:
             and revalidates(request, response)
         ):
             response = make_not_modified(response, at=response.generated_at)
+            span.event("not-modified-to-client", at=self.env.now)
         self._count_bytes("edge_egress", response)
         client_link = self.topology.link(client_node, edge_name)
         transit = client_link.one_way(self.rng) * self._latency_factor(
@@ -317,15 +383,21 @@ class Transport:
         ) + client_link.transfer_time(_content_length(response))
         # Edge storage round trips may pipeline under the client leg.
         yield from self._charge_store_latency(edge.store, concurrent=transit)
+        edge_span.set(status=int(response.status))
+        self.tracer.finish(edge_span, self.env.now)
         yield self.env.timeout(transit)
+        span.set(status=int(response.status), served_by=response.served_by)
+        self.tracer.finish(span, self.env.now)
         return response
 
     def _fetch_many_direct(
-        self, client_node: str, requests: Sequence[Request]
+        self, client_node: str, requests: Sequence[Request], parent=None
     ) -> Generator:
         """Failover for a wave: parallel direct fetches, no edge."""
         processes = [
-            self.env.process(self.fetch_direct(client_node, request))
+            self.env.process(
+                self.fetch_direct(client_node, request, parent=parent)
+            )
             for request in requests
         ]
         done = yield self.env.all_of(processes)
@@ -352,13 +424,24 @@ class Transport:
             return []
         if edge_name is None:
             edge_name = self.topology.nearest_edge(client_node, self.rng)
+        span = self.tracer.start(
+            "transport-batch",
+            self.env.now,
+            parent=requests[0].trace,
+            node=edge_name,
+            tier="network",
+            mode="cdn",
+            n=len(requests),
+        )
         if self.breaker is not None and not self.breaker.allow(
             edge_name, self.env.now
         ):
             self._count("breaker.pass_through")
+            span.event("breaker-open", at=self.env.now)
             responses = yield from self._fetch_many_direct(
-                client_node, requests
+                client_node, requests, parent=span
             )
+            self.tracer.finish(span, self.env.now)
             return responses
         edge = cdn.pop(edge_name)
         yield self.env.timeout(
@@ -367,14 +450,24 @@ class Transport:
         )
         if self._node_fails(edge_name):
             self._count("transport.edge_failures")
+            span.event("edge-down", at=self.env.now)
             if self.breaker is not None:
                 self.breaker.record_failure(edge_name, self.env.now)
             responses = yield from self._fetch_many_direct(
-                client_node, requests
+                client_node, requests, parent=span
             )
+            self.tracer.finish(span, self.env.now)
             return responses
         if self.breaker is not None:
             self.breaker.record_success(edge_name)
+        edge_span = self.tracer.start(
+            "edge",
+            self.env.now,
+            parent=span,
+            node=edge_name,
+            tier="edge",
+            n=len(requests),
+        )
         responses: List[Optional[Response]] = [None] * len(requests)
         lookup = [
             index
@@ -389,15 +482,22 @@ class Transport:
             if index not in lookup:
                 # Credentialed request: relay without cache interaction.
                 fills[index] = self.env.process(
-                    self._relay_to_origin(edge_name, request)
+                    self._relay_to_origin(edge_name, request, parent=edge_span)
                 )
+        hits = 0
         for index, response in zip(lookup, served):
             if response is not None:
                 responses[index] = response
+                hits += 1
             else:
                 fills[index] = self.env.process(
-                    self._fill_from_origin(edge_name, edge, requests[index])
+                    self._traced_fill(
+                        edge_name, edge, requests[index], edge_span
+                    )
                 )
+        edge_span.set(
+            verdict="batch", hits=hits, passes=len(requests) - len(lookup)
+        )
         if fills:
             done = yield self.env.all_of(list(fills.values()))
             for index, process in fills.items():
@@ -422,18 +522,45 @@ class Transport:
         # The batched edge lookup drains once for the whole wave,
         # overlapping with the shared return leg where the engine can.
         yield from self._charge_store_latency(edge.store, concurrent=transit)
+        self.tracer.finish(edge_span, self.env.now)
         yield self.env.timeout(transit)
+        self.tracer.finish(span, self.env.now)
         return responses
 
-    def _relay_to_origin(self, edge_name: str, request: Request) -> Generator:
+    def _relay_to_origin(
+        self, edge_name: str, request: Request, parent=None
+    ) -> Generator:
         """Edge-to-origin round trip with no cache involvement."""
-        response = yield from self._origin_exchange(edge_name, request)
+        response = yield from self._origin_exchange(
+            edge_name, request, parent=parent
+        )
+        return response
+
+    def _traced_fill(
+        self, edge_name: str, edge: EdgeCache, request: Request, parent
+    ) -> Generator:
+        """A batch-wave fill with its own span (one per missed asset)."""
+        span = self.tracer.start(
+            "edge-fill",
+            self.env.now,
+            parent=parent,
+            node=edge_name,
+            tier="edge",
+            key=str(request.url),
+        )
+        response = yield from self._fill_from_origin(
+            edge_name, edge, request, span=span
+        )
+        span.set(status=int(response.status))
+        self.tracer.finish(span, self.env.now)
         return response
 
     def _fill_from_origin(
-        self, edge_name: str, edge: EdgeCache, request: Request
+        self, edge_name: str, edge: EdgeCache, request: Request, span=None
     ) -> Generator:
         """Edge-side miss handling: conditional refetch where possible."""
+        if span is None:
+            span = NULL_SPAN
         base = edge.revalidation_base(request, self.env.now)
         upstream_request = (
             conditional_request_for(request, base)
@@ -441,14 +568,18 @@ class Transport:
             else request
         )
         upstream = yield from self._origin_exchange(
-            edge_name, upstream_request
+            edge_name, upstream_request, parent=span
         )
         if upstream.status == Status.NOT_MODIFIED and base is not None:
             refreshed = edge.refresh(request, upstream, self.env.now)
             if refreshed is not None:
+                span.set(verdict="revalidated", version=refreshed.version)
                 return refreshed
             # Entry vanished between lookup and refresh: full refetch.
-            upstream = yield from self._origin_exchange(edge_name, request)
+            span.event("revalidation-base-vanished", at=self.env.now)
+            upstream = yield from self._origin_exchange(
+                edge_name, request, parent=span
+            )
         if (
             self.stale_if_error is not None
             and upstream.status.is_server_error
@@ -460,5 +591,10 @@ class Transport:
             )
             if stale is not None:
                 self._count("transport.stale_if_error")
+                span.set(verdict="stale-if-error", version=stale.version)
                 return stale
+        if upstream.status.is_server_error:
+            span.set(verdict="error")
+        else:
+            span.set(verdict="fill", version=upstream.version)
         return edge.admit(request, upstream, self.env.now)

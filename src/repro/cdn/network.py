@@ -71,7 +71,7 @@ class Cdn:
             self.replicator.note_purged((key,))
         return sum(1 for pop in self.pops.values() if pop.purge(key))
 
-    def purge_many(self, keys: List[str]) -> int:
+    def purge_many(self, keys: List[str], span=None) -> int:
         """Purge many cache keys from every PoP in one batched pass.
 
         Each PoP receives the whole key list as a single batched
@@ -81,13 +81,25 @@ class Cdn:
         and no purge request is counted. Returns the total number of
         (key, PoP) purges that hit a stored entry, and counts purge
         requests exactly as the per-key loop did.
+
+        ``span`` is an optional observability span: when tracing, the
+        per-PoP purge counts are attached so one trace shows a write
+        reaching every copy.
         """
         if not keys:
             return 0
         self.metrics.counter("cdn.purge_requests").inc(len(keys))
         if self.replicator is not None:
             self.replicator.note_purged(keys)
-        return sum(pop.purge_many(keys) for pop in self.pops.values())
+        total = 0
+        per_pop = {}
+        for name, pop in self.pops.items():
+            purged = pop.purge_many(keys)
+            per_pop[name] = purged
+            total += purged
+        if span is not None:
+            span.set(purged=total, per_pop=per_pop)
+        return total
 
     def purge_prefix(self, prefix: str) -> int:
         self.metrics.counter("cdn.purge_requests").inc()

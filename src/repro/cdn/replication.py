@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.http.freshness import is_fresh_at
 from repro.http.messages import Response
+from repro.obs.tracer import NOOP_TRACER
 from repro.sim.environment import Environment
 from repro.sim.metrics import MetricRegistry
 
@@ -47,6 +48,7 @@ class PopReplicator:
         cdn,
         delay: float = DEFAULT_REPLICATION_DELAY,
         metrics: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> None:
         if delay < 0:
             raise ValueError(f"delay must be >= 0: {delay}")
@@ -54,6 +56,7 @@ class PopReplicator:
         self.cdn = cdn
         self.delay = delay
         self.metrics = metrics or cdn.metrics
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         #: Most recent purge instant per key / per prefix; deliveries
         #: sent at or before these instants are dropped on arrival.
         self._purged_at: Dict[str, float] = {}
@@ -87,6 +90,23 @@ class PopReplicator:
     def _deliver(
         self, name: str, sibling, key: str, response: Response, sent_at: float
     ):
+        span = self.tracer.start(
+            "replication",
+            sent_at,
+            node=name,
+            tier="replication",
+            key=key,
+            version=response.version,
+        )
+        outcome = yield from self._deliver_inner(
+            name, sibling, key, response, sent_at
+        )
+        span.set(outcome=outcome)
+        self.tracer.finish(span, self.env.now)
+
+    def _deliver_inner(
+        self, name: str, sibling, key: str, response: Response, sent_at: float
+    ):
         yield self.env.timeout(self.delay)
         remaining = self._in_flight.get(key, 1) - 1
         if remaining:
@@ -97,27 +117,28 @@ class PopReplicator:
             # The key was purged after this replica left its source:
             # applying it would re-poison the sibling past the purge.
             self.metrics.counter("replication.dropped_purged").inc()
-            return
+            return "dropped-purged"
         resident = sibling.store.peek(key)
         if resident is not None:
             if is_fresh_at(resident.response, self.env.now, shared=True):
                 # The sibling's own copy is still serving; keep it.
                 self.metrics.counter("replication.dropped_present").inc()
-                return
+                return "dropped-present"
             if not self._newer_than(response, resident.response):
                 # The resident is expired but the replica is no newer:
                 # replacing it could regress a client's observed
                 # version, so leave the expired copy to revalidate.
                 self.metrics.counter("replication.dropped_present").inc()
-                return
+                return "dropped-present"
         if not is_fresh_at(response, self.env.now, shared=True):
             self.metrics.counter("replication.dropped_stale").inc()
-            return
+            return "dropped-stale"
         if resident is not None:
             self.metrics.counter("replication.replaced_stale").inc()
         sibling.store.put(key, response, self.env.now)
         self.metrics.counter(f"edge.{name}.replicated").inc()
         self.metrics.counter("replication.applied").inc()
+        return "applied"
 
     @staticmethod
     def _newer_than(replica: Response, resident: Response) -> bool:

@@ -7,7 +7,8 @@ Examples::
     python -m repro sweep-delta --deltas 10,30,60,120
     python -m repro sweep-segments --segments 1,3,9,27
     python -m repro gen-trace --out trace.jsonl
-    python -m repro run --scenario classic-cdn --trace trace.jsonl
+    python -m repro run --scenario classic-cdn --replay trace.jsonl
+    python -m repro run --scenario speed-kit --trace spans.jsonl
 """
 
 from __future__ import annotations
@@ -56,7 +57,7 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         "--quick", action="store_true", help="15-minute workload"
     )
     parser.add_argument(
-        "--trace", default=None, help="replay a saved trace instead"
+        "--replay", default=None, help="replay a saved workload trace"
     )
     parser.add_argument(
         "--backend",
@@ -196,8 +197,8 @@ def _build_workload(args):
         UserPopulationConfig(n_users=args.users),
         random.Random(args.seed + 1),
     )
-    if args.trace:
-        trace = load_trace(args.trace)
+    if args.replay:
+        trace = load_trace(args.replay)
     else:
         duration = 900.0 if args.quick else args.duration
         config = WorkloadConfig(
@@ -225,6 +226,7 @@ def cmd_run(args) -> int:
         adaptive_ttl=args.adaptive_ttl,
         backend=_backend_spec(args),
         batch_waves=args.batch_waves,
+        trace_requests=args.trace is not None,
         **_replication_kwargs(args),
         **_fault_kwargs(args),
     )
@@ -235,11 +237,32 @@ def cmd_run(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"wrote result record to {args.json}", file=sys.stderr)
+    if args.trace is not None:
+        from repro.obs import dump_jsonl
+
+        dump_jsonl(result.trace_records or [], args.trace)
+        print(
+            f"wrote {len(result.trace_records or [])} spans "
+            f"to {args.trace}",
+            file=sys.stderr,
+        )
     print(format_table([result.summary_row()], title="Run summary"))
     print()
     kinds = ("static", "page", "query", "api", "fragment")
     row = {kind: round(result.hit_ratio_for_kind(kind), 3) for kind in kinds}
     print(format_table([row], title="Hit ratio by content type"))
+    if result.tier_breakdown:
+        print()
+        tier_row = {
+            tier: round(seconds, 3)
+            for tier, seconds in sorted(result.tier_breakdown.items())
+        }
+        tier_row["plt_sum"] = round(sum(result.plt.values), 3)
+        print(
+            format_table(
+                [tier_row], title="Per-tier latency attribution (s)"
+            )
+        )
     return 0
 
 
@@ -375,7 +398,7 @@ def cmd_report(args) -> int:
 
 
 def cmd_gen_trace(args) -> int:
-    args.trace = None  # always generate fresh here
+    args.replay = None  # always generate fresh here
     _, _, trace = _build_workload(args)
     dump_trace(trace, args.out)
     print(
@@ -402,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--adaptive-ttl", action="store_true")
     run_parser.add_argument(
         "--json", default=None, help="also write the full result record"
+    )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record request-path spans and write them as JSONL; also "
+        "prints the per-tier latency attribution",
     )
     _add_workload_args(run_parser)
     run_parser.set_defaults(handler=cmd_run)

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
+from repro.obs.tracer import NOOP_TRACER
 from repro.sim.environment import Environment
 from repro.simnet.topology import Topology
 from repro.sketch.cache_sketch import ClientCacheSketch, ServerCacheSketch
@@ -41,6 +42,7 @@ class SketchClient:
         refresh_interval: float = 60.0,
         sketch_node: str = "origin",
         faults=None,
+        tracer=None,
     ) -> None:
         if refresh_interval <= 0:
             raise ValueError(
@@ -54,6 +56,7 @@ class SketchClient:
         self.rng = rng
         self.refresh_interval = refresh_interval
         self.faults = faults
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.current: Optional[ClientCacheSketch] = None
         self.stats = SketchFetchStats()
         self._refresh_process = None
@@ -84,7 +87,7 @@ class SketchClient:
 
     # -- fetching ------------------------------------------------------------
 
-    def fetch_once(self) -> Generator:
+    def fetch_once(self, parent=None) -> Generator:
         """Download a fresh sketch (generator sub-process).
 
         Returns ``None`` (leaving the held sketch unchanged) when the
@@ -92,6 +95,13 @@ class SketchClient:
         degrades gracefully instead of deadlocking on the download.
         """
         started = self.env.now
+        span = self.tracer.start(
+            "sketch-fetch",
+            started,
+            parent=parent,
+            node=self.sketch_node,
+            tier="sketch",
+        )
         yield self.env.timeout(
             self.topology.one_way(self.client_node, self.sketch_node, self.rng)
         )
@@ -99,6 +109,8 @@ class SketchClient:
             self.sketch_node, self.env.now
         ):
             self.stats.failures += 1
+            span.set(outcome="unreachable")
+            self.tracer.finish(span, self.env.now)
             return None
         snapshot = self.server_sketch.snapshot(self.env.now)
         link = self.topology.link(self.client_node, self.sketch_node)
@@ -110,12 +122,14 @@ class SketchClient:
         self.stats.fetches += 1
         self.stats.bytes_transferred += size
         self.stats.fetch_times.append(self.env.now - started)
+        span.set(outcome="fetched", bytes=size)
+        self.tracer.finish(span, self.env.now)
         return snapshot
 
-    def ensure_fresh(self) -> Generator:
+    def ensure_fresh(self, parent=None) -> Generator:
         """Fetch only if the held sketch is missing or too old."""
         if not self.is_usable():
-            yield from self.fetch_once()
+            yield from self.fetch_once(parent=parent)
         return self.current
 
     def start_periodic_refresh(self) -> None:

@@ -86,6 +86,33 @@ def render_report(
         "",
     ]
 
+    traced = [result for result in results if result.tier_breakdown]
+    if traced:
+        tiers = sorted(
+            {tier for result in traced for tier in result.tier_breakdown}
+        )
+        tier_rows: List[Dict[str, object]] = []
+        for result in traced:
+            row = {"scenario": result.scenario_name}
+            for tier in tiers:
+                row[f"{tier}_s"] = round(
+                    result.tier_breakdown.get(tier, 0.0), 3
+                )
+            row["sum_s"] = round(sum(result.tier_breakdown.values()), 3)
+            row["plt_sum_s"] = round(sum(result.plt.values), 3)
+            tier_rows.append(row)
+        sections += [
+            "## Per-tier latency attribution",
+            "",
+            "Critical-path seconds per tier across all traced page "
+            "views (from the recorded request spans); `sum_s` matches "
+            "`plt_sum_s` because each page view's attribution sums to "
+            "its PLT.",
+            "",
+            _code_block(format_table(tier_rows)),
+            "",
+        ]
+
     if any(result.failed_responses for result in results):
         availability_rows = [
             {

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.sim.metrics import Histogram, MetricRegistry
 
@@ -23,6 +23,10 @@ class RunResult:
     served_by_layer: Dict[str, int] = field(default_factory=dict)
     #: Request counts by (layer, resource kind).
     served_by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Degraded servings (stale-if-error, offline mode) per layer — a
+    #: subset of ``served_by_layer``. Kept separate so hit ratios can
+    #: exclude availability fallbacks from the fresh-hit numerator.
+    served_degraded_by_layer: Dict[str, int] = field(default_factory=dict)
     #: Coherence outcome.
     reads_checked: int = 0
     stale_reads: int = 0
@@ -50,16 +54,42 @@ class RunResult:
     #: a full identity-personalized render) vs. anonymous fallbacks.
     personalization_checks: int = 0
     personalization_misses: int = 0
+    #: Per-tier latency attribution (tier -> total critical-path
+    #: seconds across all traced page views); ``None`` unless the run
+    #: recorded traces.
+    tier_breakdown: Optional[Dict[str, float]] = None
+    #: Exported span records of the whole run (``None`` unless the run
+    #: recorded traces); the JSONL exporter serializes exactly these.
+    trace_records: Optional[List[dict]] = field(default=None, repr=False)
 
     # -- derived ----------------------------------------------------------
 
     def cache_hit_ratio(self) -> float:
-        """Fraction of requests answered without touching the origin."""
+        """Fraction of requests answered *fresh* without touching the
+        origin.
+
+        Degraded servings (stale-if-error, offline mode) did avoid the
+        origin, but only by serving a copy known to be past its
+        freshness promise — counting them as hits would let an outage
+        inflate the hit ratio. They count in the denominator only (see
+        :meth:`degraded_serve_ratio`).
+        """
         total = sum(self.served_by_layer.values())
         if not total:
             return 0.0
-        cached = total - self.served_by_layer.get("origin", 0)
+        cached = (
+            total
+            - self.served_by_layer.get("origin", 0)
+            - sum(self.served_degraded_by_layer.values())
+        )
         return cached / total
+
+    def degraded_serve_ratio(self) -> float:
+        """Fraction of requests answered by degraded fallbacks."""
+        total = sum(self.served_by_layer.values())
+        if not total:
+            return 0.0
+        return sum(self.served_degraded_by_layer.values()) / total
 
     def layer_share(self, layer: str) -> float:
         total = sum(self.served_by_layer.values())
@@ -115,7 +145,9 @@ class RunResult:
                 layer: dict(kinds)
                 for layer, kinds in self.served_by_kind.items()
             },
+            "served_degraded_by_layer": dict(self.served_degraded_by_layer),
             "cache_hit_ratio": self.cache_hit_ratio(),
+            "degraded_serve_ratio": self.degraded_serve_ratio(),
             "origin_requests": self.origin_requests,
             "origin_egress_bytes": self.origin_egress_bytes,
             "edge_egress_bytes": self.edge_egress_bytes,
@@ -141,6 +173,8 @@ class RunResult:
                 "mean": self.plt.mean(),
                 "count": self.plt.count,
             }
+        if self.tier_breakdown is not None:
+            record["tier_breakdown"] = dict(self.tier_breakdown)
         return record
 
     def summary_row(self) -> Dict[str, object]:

@@ -14,10 +14,10 @@ from repro.coherence.client import SketchClient
 from repro.http.messages import Method, Request, Status
 from repro.http.url import URL
 from repro.invalidation.pipeline import InvalidationPipeline
+from repro.obs import MetricsRegistry, NOOP_TRACER, RecordingTracer
 from repro.origin.server import OriginServer
 from repro.origin.site import ResourceKind
 from repro.sim.environment import Environment
-from repro.sim.metrics import MetricRegistry
 from repro.sim.rng import RngStreams
 from repro.simnet.profiles import build_web_topology
 from repro.sketch.cache_sketch import ServerCacheSketch
@@ -206,7 +206,13 @@ class SimulationRunner:
         spec = self.spec
         self.env = Environment()
         self.streams = RngStreams(spec.seed)
-        self.metrics = MetricRegistry()
+        self.metrics = MetricsRegistry()
+        # Tracing is opt-in: the no-op tracer hands every caller the
+        # shared null span, so the request path pays one attribute
+        # lookup per hop when disabled.
+        self.tracer = (
+            RecordingTracer() if spec.trace_requests else NOOP_TRACER
+        )
 
         seen = self.trace.users_seen()
         profiles = {
@@ -257,6 +263,7 @@ class SimulationRunner:
                     self.cdn,
                     delay=spec.replication_delay,
                     metrics=self.metrics,
+                    tracer=self.tracer,
                 )
         if scenario.uses_speed_kit:
             use_sketch = scenario is not Scenario.SPEED_KIT_PURGE_ONLY
@@ -270,6 +277,7 @@ class SimulationRunner:
                 detection_latency=spec.detection_latency,
                 purge_latency=spec.purge_latency,
                 metrics=self.metrics,
+                tracer=self.tracer,
             )
         faults = self._build_faults()
         self._faults = faults
@@ -293,6 +301,7 @@ class SimulationRunner:
             retry=spec.retry,
             breaker=breaker,
             stale_if_error=spec.stale_if_error,
+            tracer=self.tracer,
         )
         self.checker = DeltaAtomicityChecker(
             self.server, delta=self._checker_delta(), metrics=self.metrics
@@ -380,6 +389,7 @@ class SimulationRunner:
                 mode=TransportMode.DIRECT,
                 cache=self._browser_cache(node),
                 metrics=self.metrics,
+                tracer=self.tracer,
             )
         elif scenario is Scenario.CLASSIC_CDN:
             inner = BrowserClient(
@@ -389,6 +399,7 @@ class SimulationRunner:
                 cdn=self.cdn,
                 cache=self._browser_cache(node),
                 metrics=self.metrics,
+                tracer=self.tracer,
             )
         elif not user.consents:
             # A non-consenting user keeps the plain browser stack even
@@ -399,6 +410,7 @@ class SimulationRunner:
                 mode=TransportMode.DIRECT,
                 cache=self._browser_cache(node),
                 metrics=self.metrics,
+                tracer=self.tracer,
             )
         else:
             inner = self._build_worker(user)
@@ -448,6 +460,7 @@ class SimulationRunner:
             rng=self.streams.fork(user.user_id).stream("sketch"),
             refresh_interval=self.spec.delta,
             faults=self._faults,
+            tracer=self.tracer,
         )
         fallback = BrowserClient(
             user.user_id,
@@ -455,6 +468,7 @@ class SimulationRunner:
             mode=TransportMode.DIRECT,
             cache=self._browser_cache(user.user_id),
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         return ServiceWorkerProxy(
             node=user.user_id,
@@ -469,6 +483,7 @@ class SimulationRunner:
             sketch_client=sketch_client,
             metrics=self.metrics,
             fallback=fallback,
+            tracer=self.tracer,
         )
 
     def _engine_for(self, user: User) -> PageLoadEngine:
@@ -478,6 +493,7 @@ class SimulationRunner:
                 self.env,
                 self._stack_for(user),
                 batch_waves=self.spec.batch_waves,
+                tracer=self.tracer,
             )
             self._engines[user.user_id] = engine
         return engine
@@ -516,9 +532,29 @@ class SimulationRunner:
         navigate = getattr(stack, "on_navigate", None)
         if navigate is not None:
             yield from navigate()
-        page = self.pages.for_view(event.page_kind, event.target)
-        result = yield from engine.load(page)
         inner = getattr(stack, "inner", stack)
+        # On baseline scenarios the main checker (bound = ∞) covers
+        # everyone; on Speed Kit scenarios only worker-served users are
+        # under the Δ promise.
+        delta_covered = not self.spec.scenario.uses_speed_kit or (
+            isinstance(inner, ServiceWorkerProxy)
+        )
+        # The pageview span starts *after* the navigation hook (eager
+        # sketch refresh) so its start coincides with the instant the
+        # engine stamps as PLT start — per-tier attribution then sums
+        # to the PLT exactly.
+        span = self.tracer.start(
+            "pageview",
+            self.env.now,
+            node=user.user_id,
+            tier="client",
+            user=event.user_id,
+            page_kind=event.page_kind,
+            target=event.target,
+            covered=delta_covered,
+        )
+        page = self.pages.for_view(event.page_kind, event.target)
+        result = yield from engine.load(page, trace=span.context)
         if self._navigation_model is not None and isinstance(
             inner, ServiceWorkerProxy
         ):
@@ -529,25 +565,31 @@ class SimulationRunner:
                 prefetcher = Prefetcher(inner, self._navigation_model)
                 self._prefetchers[user.user_id] = prefetcher
             prefetcher.on_navigation(event.page_kind, event.target)
-        # On baseline scenarios the main checker (bound = ∞) covers
-        # everyone; on Speed Kit scenarios only worker-served users are
-        # under the Δ promise.
-        delta_covered = not self.spec.scenario.uses_speed_kit or (
-            isinstance(inner, ServiceWorkerProxy)
-        )
         self._record_page_load(user, event, result, delta_covered)
+        span.set(plt=result.plt)
+        self.tracer.finish(span, self.env.now)
         return None
 
     def _handle_cart_add(self, event: CartAdd) -> Generator:
         user = self.users.by_id(event.user_id)
         stack = self._stack_for(user)
+        span = self.tracer.start(
+            "cart-add",
+            self.env.now,
+            node=event.user_id,
+            tier="client",
+            user=event.user_id,
+            product=event.product_id,
+        )
         request = Request(
             method=Method.POST,
             url=URL.parse(f"/api/documents/carts/{event.user_id}"),
             body={"items": [event.product_id]},
             client_id=event.user_id,
         )
+        request.trace = span.context
         yield from stack.fetch(request)
+        self.tracer.finish(span, self.env.now)
         return None
 
     # -- recording ---------------------------------------------------------------
@@ -632,9 +674,22 @@ class SimulationRunner:
         self.result.served_by_layer[layer] = (
             self.result.served_by_layer.get(layer, 0) + 1
         )
+        self.metrics.counter(f"serve.layer.{layer}").inc()
         kind = response.headers.get("X-Resource-Kind", "unknown")
         per_kind = self.result.served_by_kind.setdefault(layer, {})
         per_kind[kind] = per_kind.get(kind, 0) + 1
+        self.metrics.counter(f"serve.kind.{layer}.{kind}").inc()
+        if (
+            "X-Stale-If-Error" in response.headers
+            or "X-SpeedKit-Offline" in response.headers
+        ):
+            # Degraded servings (stale-if-error, offline mode) are
+            # availability wins, not fresh cache hits — they are
+            # tallied separately so hit ratios stay honest.
+            self.result.served_degraded_by_layer[layer] = (
+                self.result.served_degraded_by_layer.get(layer, 0) + 1
+            )
+            self.metrics.counter(f"serve.degraded.{layer}").inc()
         if "X-SpeedKit-Offline" in response.headers:
             # Offline serving explicitly trades Δ-atomicity for
             # availability; these reads are accounted, not checked.
@@ -681,3 +736,24 @@ class SimulationRunner:
                 )
                 if counter is not None:
                     result.requests_scrubbed += int(counter.value)
+        if self.tracer.enabled:
+            self._finalize_trace()
+
+    def _finalize_trace(self) -> None:
+        """Attach the recorded trace and its per-tier attribution."""
+        from repro.obs import (
+            pageview_attributions,
+            span_records,
+            tier_breakdown,
+        )
+
+        records = span_records(self.tracer.spans)
+        result = self.result
+        result.trace_records = records
+        result.tier_breakdown = tier_breakdown(records)
+        # Streaming per-tier latency sketches: each page view's
+        # critical-path seconds per tier, quantile-queryable without
+        # retaining the per-page attributions.
+        for _, attribution in pageview_attributions(records):
+            for tier, seconds in attribution.items():
+                self.metrics.sketch(f"tier.plt.{tier}").observe(seconds)

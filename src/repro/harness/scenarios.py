@@ -100,6 +100,11 @@ class ScenarioSpec:
     #: Retry-with-backoff policy for origin exchanges; ``None`` keeps
     #: the historical single-attempt fail-fast behaviour.
     retry: Optional["RetryPolicy"] = None
+    #: Record request-path spans (see :mod:`repro.obs`): every page
+    #: view, worker decision, transport hop, edge lookup, and origin
+    #: exchange gets a span with sim-clock timings and cache verdicts.
+    #: Off by default — the no-op tracer keeps the hot path free.
+    trace_requests: bool = False
     label: Optional[str] = None
 
     @property

@@ -47,7 +47,11 @@ class Request:
 
     ``client_id`` identifies the issuing simulated browser; it is
     metadata for the simulator (used by the GDPR layer to check what
-    actually left the device), not an HTTP header.
+    actually left the device), not an HTTP header.  ``trace`` carries
+    the observability span context (:class:`repro.obs.span.SpanContext`)
+    of the hop currently handling the request, so downstream tiers can
+    parent their spans without global state; it is ``None`` whenever
+    tracing is disabled.
     """
 
     method: Method
@@ -55,6 +59,7 @@ class Request:
     headers: Headers = field(default_factory=Headers)
     body: Any = None
     client_id: Optional[str] = None
+    trace: Any = None
 
     @classmethod
     def get(cls, url: URL, **kwargs: Any) -> "Request":

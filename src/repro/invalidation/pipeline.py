@@ -22,6 +22,7 @@ from repro.cdn.network import Cdn
 from repro.http.freshness import freshness_lifetime
 from repro.http.messages import Response
 from repro.invalidation.matcher import QueryMatcher
+from repro.obs.tracer import NOOP_TRACER
 from repro.origin.server import OriginServer
 from repro.origin.store import ChangeEvent
 from repro.sim.environment import Environment
@@ -78,6 +79,7 @@ class InvalidationPipeline:
         detection_latency: float = 0.025,
         purge_latency: float = 0.080,
         metrics: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> None:
         if purge_latency < detection_latency:
             raise ValueError(
@@ -91,6 +93,7 @@ class InvalidationPipeline:
         self.detection_latency = detection_latency
         self.purge_latency = purge_latency
         self.metrics = metrics or MetricRegistry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.matcher = QueryMatcher()
         self.variants = VariantIndex()
         self.events: list = []
@@ -132,9 +135,20 @@ class InvalidationPipeline:
 
     def _process(self, record: InvalidationEvent):
         """Simulated pipeline execution for one change."""
+        span = self.tracer.start(
+            "invalidation",
+            self.env.now,
+            node="origin",
+            tier="invalidation",
+            resources=sorted(record.resource_keys),
+            write_at=record.write_at,
+        )
         yield self.env.timeout(self.detection_latency)
         cache_keys = self._expand(record.resource_keys)
         record.sketch_at = self.env.now
+        span.event(
+            "sketch-report", at=record.sketch_at, n_keys=len(cache_keys)
+        )
         self.metrics.histogram("invalidation.sketch_latency").observe(
             record.sketch_at - record.write_at
         )
@@ -152,6 +166,14 @@ class InvalidationPipeline:
                 ttl_policy(resource_key, self.env.now)
 
         yield self.env.timeout(self.purge_latency - self.detection_latency)
+        purge_span = self.tracer.start(
+            "purge",
+            self.env.now,
+            parent=span,
+            tier="invalidation",
+            n_keys=len(cache_keys),
+            keys=sorted(cache_keys)[:32],
+        )
         if self.cdn is not None:
             # Async PoP replication races the purge: replicas of the
             # purged keys still travelling between PoPs would re-apply
@@ -168,13 +190,14 @@ class InvalidationPipeline:
                     self.metrics.counter(
                         "invalidation.replicas_superseded"
                     ).inc(superseded)
+                    purge_span.set(replicas_superseded=superseded)
                 self.metrics.histogram(
                     "invalidation.in_flight_replicas"
                 ).observe(float(superseded))
             # One batched purge per PoP: a pipelined storage engine
             # charges ~one round trip for the whole variant fan-out
             # instead of one per key.
-            self.cdn.purge_many(sorted(cache_keys))
+            self.cdn.purge_many(sorted(cache_keys), span=purge_span)
             # PoPs purge in parallel; a remote storage engine charges
             # per-deletion cost, so the slowest PoP bounds completion.
             lag = max(
@@ -187,10 +210,13 @@ class InvalidationPipeline:
             if lag > 0:
                 yield self.env.timeout(lag)
         record.purge_at = self.env.now
+        self.tracer.finish(purge_span, self.env.now)
         self.metrics.histogram("invalidation.purge_latency").observe(
             record.purge_at - record.write_at
         )
         self.metrics.counter("invalidation.processed").inc()
+        span.set(purge_latency=record.purge_at - record.write_at)
+        self.tracer.finish(span, self.env.now)
 
     def _expand(self, resource_keys: Iterable[str]) -> Set[str]:
         cache_keys: Set[str] = set()

@@ -1,0 +1,170 @@
+"""Trace analysis: per-tier latency attribution and read-log rebuild.
+
+Two consumers:
+
+* the harness report attributes each page load's wall-clock time to
+  the tier that spent it (client / browser / sw / network / edge /
+  origin) via a critical-path walk, such that the per-tier seconds of
+  one page view sum to its PLT;
+* the coherence bridge rebuilds the checker's read log purely from
+  exported span records, proving traces are complete enough to audit
+  the Δ bound without the live run.
+
+The attribution walk: a span's children are grouped into clusters of
+time-overlapping siblings (a page-load wave slot is one cluster, a
+sequential revalidate-then-fetch is two).  Each cluster contributes
+its *critical* child — the one finishing last — recursively; the
+span's own tier absorbs the remainder of its duration.  For the
+simulator's barrier-structured page loads this reproduces PLT exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "critical_path_attribution",
+    "pageview_attributions",
+    "reads_from_trace",
+    "response_attrs",
+    "tier_breakdown",
+]
+
+Record = Dict[str, Any]
+
+
+def response_attrs(response) -> Dict[str, Any]:
+    """Span attributes capturing what a response was and who served it."""
+    headers = response.headers
+    attrs: Dict[str, Any] = {
+        "status": int(response.status),
+        "served_by": response.served_by,
+        "url": str(response.url) if response.url is not None else None,
+        "version": response.version,
+        "version_key": headers.get("X-Version-Key"),
+        "kind": headers.get("X-Resource-Kind"),
+    }
+    if "X-Stale-If-Error" in headers:
+        attrs["degraded"] = True
+    if "X-SpeedKit-Offline" in headers:
+        attrs["offline"] = True
+    return attrs
+
+
+def _children_index(records: List[Record]) -> Dict[Optional[int], List[Record]]:
+    index: Dict[Optional[int], List[Record]] = {}
+    for record in records:
+        index.setdefault(record.get("parent"), []).append(record)
+    for kids in index.values():
+        kids.sort(key=lambda r: (r["start"], r["span"]))
+    return index
+
+
+def _clusters(kids: List[Record]) -> List[List[Record]]:
+    """Group siblings into maximal runs of time-overlapping spans."""
+    clusters: List[List[Record]] = []
+    current: List[Record] = []
+    current_end = -1.0
+    for kid in kids:
+        if not current or kid["start"] < current_end:
+            current.append(kid)
+        else:
+            clusters.append(current)
+            current = [kid]
+        if kid["end"] > current_end:
+            current_end = kid["end"]
+    if current:
+        clusters.append(current)
+    return clusters
+
+
+def critical_path_attribution(
+    record: Record,
+    children: Dict[Optional[int], List[Record]],
+    out: Optional[Dict[str, float]] = None,
+) -> Dict[str, float]:
+    """Attribute ``record``'s duration to tiers along its critical path."""
+    if out is None:
+        out = {}
+    kids = [
+        kid
+        for kid in children.get(record["span"], [])
+        if kid.get("end") is not None and not kid.get("attrs", {}).get("background")
+    ]
+    duration = (record.get("end") or record["start"]) - record["start"]
+    consumed = 0.0
+    for cluster in _clusters(kids):
+        critical = max(cluster, key=lambda r: (r["end"], r["end"] - r["start"]))
+        consumed += critical["end"] - critical["start"]
+        critical_path_attribution(critical, children, out)
+    tier = record.get("tier") or "other"
+    out[tier] = out.get(tier, 0.0) + max(0.0, duration - consumed)
+    return out
+
+
+def pageview_attributions(
+    records: List[Record],
+) -> List[Tuple[Record, Dict[str, float]]]:
+    """(pageview record, tier -> seconds) for every traced page view."""
+    children = _children_index(records)
+    out = []
+    for record in records:
+        if record.get("name") == "pageview" and record.get("end") is not None:
+            out.append((record, critical_path_attribution(record, children)))
+    return out
+
+
+def tier_breakdown(records: List[Record]) -> Dict[str, float]:
+    """Total seconds per tier across all traced page views."""
+    totals: Dict[str, float] = {}
+    for _, attribution in pageview_attributions(records):
+        for tier, seconds in attribution.items():
+            totals[tier] = totals.get(tier, 0.0) + seconds
+    return totals
+
+
+def _read_from_attrs(
+    attrs: Dict[str, Any], pageview: Record
+) -> Optional[Dict[str, Any]]:
+    if attrs.get("status") != 200:
+        return None
+    if attrs.get("version") is None or attrs.get("version_key") is None:
+        return None
+    if attrs.get("offline"):
+        return None
+    return {
+        "read_at": pageview["end"],
+        "client": pageview.get("attrs", {}).get("user"),
+        "covered": bool(pageview.get("attrs", {}).get("covered", True)),
+        "url": attrs.get("url"),
+        "version": attrs.get("version"),
+        "version_key": attrs.get("version_key"),
+        "served_by": attrs.get("served_by"),
+        "degraded": bool(attrs.get("degraded")),
+    }
+
+
+def reads_from_trace(records: List[Record]) -> List[Dict[str, Any]]:
+    """Rebuild the coherence read log purely from span records.
+
+    Mirrors the runner's recording rule: every OK, versioned,
+    version-keyed, non-offline response of a page load is a read at
+    the page view's completion time by the page view's user.
+    """
+    children = _children_index(records)
+    reads: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("name") != "pageview" or record.get("end") is None:
+            continue
+        for kid in children.get(record["span"], []):
+            attrs = kid.get("attrs", {})
+            if kid.get("name") == "request":
+                read = _read_from_attrs(attrs, record)
+                if read is not None:
+                    reads.append(read)
+            elif kid.get("name") == "request-batch":
+                for item in attrs.get("responses", []):
+                    read = _read_from_attrs(item, record)
+                    if read is not None:
+                        reads.append(read)
+    return reads

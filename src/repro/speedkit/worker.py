@@ -28,6 +28,8 @@ from repro.coherence.client import SketchClient
 from repro.coherence.decision import ReadDecision, decide
 from repro.http.freshness import conditional_request_for
 from repro.http.messages import Request, Response, Status
+from repro.obs.span import NULL_SPAN
+from repro.obs.tracer import NOOP_TRACER
 from repro.origin.server import SEGMENT_PARAM
 from repro.sim.metrics import MetricRegistry
 from repro.speedkit.config import SpeedKitConfig
@@ -60,6 +62,7 @@ class ServiceWorkerProxy:
         scrubber: Optional[RequestScrubber] = None,
         metrics: Optional[MetricRegistry] = None,
         fallback: Optional[object] = None,
+        tracer=None,
     ) -> None:
         self.node = node
         self.transport = transport
@@ -71,6 +74,7 @@ class ServiceWorkerProxy:
         self.sketch_client = sketch_client
         self.scrubber = scrubber or RequestScrubber()
         self.metrics = metrics or MetricRegistry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.cache = _SwCache(
             f"sw:{node}",
             CacheStore(
@@ -121,17 +125,35 @@ class ServiceWorkerProxy:
 
     def fetch(self, request: Request) -> Generator:
         """Resolve one request (generator sub-process)."""
+        span = self.tracer.start(
+            "sw",
+            self._now,
+            parent=request.trace,
+            node=self.node,
+            tier="sw",
+        )
+        request.trace = span.context
+        response = yield from self._fetch_routed(request, span)
+        span.set(status=int(response.status), served_by=response.served_by)
+        self.tracer.finish(span, self._now)
+        return response
+
+    def _fetch_routed(self, request: Request, span) -> Generator:
         if not self.consent.allows(Purpose.ACCELERATION):
             self._count("pass_through")
+            span.set(path="pass-through")
             return (yield from self._pass_through(request))
         if self.config.is_user_personalized(request):
             self._count("user_block")
+            span.set(path="user-block")
             return (yield from self._fetch_user_block(request))
         if not self.config.rules.should_accelerate(request):
             self._count("pass_through")
+            span.set(path="pass-through")
             return (yield from self._pass_through(request))
         self._count("accelerated")
-        return (yield from self._fetch_accelerated(request))
+        span.set(path="accelerated")
+        return (yield from self._fetch_accelerated(request, span))
 
     def fetch_assembled(self, request: Request, blocks) -> Generator:
         """Fetch a skeleton page and stitch its dynamic blocks in.
@@ -191,7 +213,7 @@ class ServiceWorkerProxy:
         response = yield from self.fallback.fetch(outgoing)
         return response
 
-    def _fetch_accelerated(self, request: Request) -> Generator:
+    def _fetch_accelerated(self, request: Request, span=NULL_SPAN) -> Generator:
         scrubbed, report = self.scrubber.scrub(request)
         if report.anything_removed:
             self._count("scrubbed")
@@ -204,11 +226,14 @@ class ServiceWorkerProxy:
                 body=scrubbed.body,
                 client_id=scrubbed.client_id,
             )
+        # The scrubber and segment rewrite build fresh Request objects;
+        # re-attach the worker's span so downstream hops keep nesting.
+        scrubbed.trace = span.context
 
         # The decision procedure requires a sketch younger than Δ;
         # fetch one on demand if the navigation prefetch is missing.
         if self.sketch_client.usable_sketch() is None:
-            yield from self.sketch_client.ensure_fresh()
+            yield from self.sketch_client.ensure_fresh(parent=span.context)
         sketch = self.sketch_client.usable_sketch()
 
         key = scrubbed.url.cache_key()
@@ -221,9 +246,16 @@ class ServiceWorkerProxy:
             # sketch the Δ guarantee lapses. Serve degraded if allowed
             # (bounded stale-if-error first, unbounded offline second)
             # or fall back to revalidation.
+            span.event("sketch-unusable", at=self._now)
             degraded = self._serve_degraded(scrubbed, cached)
             if degraded is not None:
-                self.cache._count("hit")
+                # A degraded serving is not a fresh cache hit: it is
+                # counted by its own stale_if_error/offline tallies, so
+                # the hit ratio only reports verified-fresh servings.
+                span.set(
+                    verdict=self._degraded_verdict(degraded),
+                    version=degraded.version,
+                )
                 return degraded
             decision = (
                 ReadDecision.REVALIDATE
@@ -234,6 +266,7 @@ class ServiceWorkerProxy:
         if decision is ReadDecision.SERVE_FROM_CACHE:
             self._count("served_from_cache")
             self.cache._count("hit")
+            span.set(verdict="hit", version=cached.version)
             return cached
 
         self.cache._count("miss")
@@ -242,25 +275,38 @@ class ServiceWorkerProxy:
                 scrubbed, cached
             ):
                 self._count("swr_served")
+                span.set(verdict="swr", version=cached.version)
                 self.transport.env.process(
                     self._background_revalidate(scrubbed, cached)
                 )
                 return cached
             self._count("revalidations")
-            response = yield from self._revalidate(scrubbed, cached)
+            span.set(verdict="revalidate")
+            response = yield from self._revalidate(scrubbed, cached, span)
             return response
 
         self._count("fetches")
+        span.set(verdict="fetch")
         response = yield from self.transport.fetch_via_cdn(
             self.node, scrubbed, self.cdn
         )
         if response.status.is_server_error:
             degraded = self._serve_degraded(scrubbed, cached)
             if degraded is not None:
+                span.set(
+                    verdict=self._degraded_verdict(degraded),
+                    version=degraded.version,
+                )
                 return degraded
         admitted = self.cache.admit(scrubbed, response, self._now)
         yield from self._charge_cache_latency()
         return admitted
+
+    @staticmethod
+    def _degraded_verdict(response: Response) -> str:
+        if "X-SpeedKit-Offline" in response.headers:
+            return "offline"
+        return "stale-if-error"
 
     def _serve_degraded(
         self, scrubbed: Request, cached: Optional[Response]
@@ -317,7 +363,9 @@ class ServiceWorkerProxy:
         verified_age = self._now - entry.stored_at
         return verified_age <= self.config.swr_staleness_budget
 
-    def _revalidate(self, scrubbed: Request, cached: Response) -> Generator:
+    def _revalidate(
+        self, scrubbed: Request, cached: Response, span=NULL_SPAN
+    ) -> Generator:
         """Conditional refetch of a flagged/expired cached copy."""
         conditional = conditional_request_for(scrubbed, cached)
         response = yield from self.transport.fetch_via_cdn(
@@ -327,6 +375,7 @@ class ServiceWorkerProxy:
             refreshed = self.cache.refresh(scrubbed, response, self._now)
             yield from self._charge_cache_latency()
             if refreshed is not None:
+                span.set(revalidated="304", version=refreshed.version)
                 return refreshed
             response = yield from self.transport.fetch_via_cdn(
                 self.node, scrubbed, self.cdn
@@ -336,7 +385,12 @@ class ServiceWorkerProxy:
             # offline-resilience story), bounded where configured.
             degraded = self._serve_degraded(scrubbed, cached)
             if degraded is not None:
+                span.set(
+                    verdict=self._degraded_verdict(degraded),
+                    version=degraded.version,
+                )
                 return degraded
+        span.set(revalidated="refetch")
         admitted = self.cache.admit(scrubbed, response, self._now)
         yield from self._charge_cache_latency()
         return admitted
@@ -344,5 +398,17 @@ class ServiceWorkerProxy:
     def _background_revalidate(
         self, scrubbed: Request, cached: Response
     ) -> Generator:
+        """SWR's async refresh: its own root trace, marked background
+        so latency attribution never charges it to the page load."""
         self._count("revalidations")
-        yield from self._revalidate(scrubbed, cached)
+        span = self.tracer.start(
+            "sw-background",
+            self._now,
+            node=self.node,
+            tier="sw",
+            background=True,
+        )
+        scrubbed = scrubbed.copy()
+        scrubbed.trace = span.context
+        yield from self._revalidate(scrubbed, cached, span)
+        self.tracer.finish(span, self._now)

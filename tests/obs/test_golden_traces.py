@@ -1,0 +1,103 @@
+"""Golden-trace regression tests.
+
+A fixed-seed workload is replayed with tracing on and the exported
+span records are compared against committed goldens: hop sequence,
+parent links, nodes, tiers, cache verdicts, versions, and event names
+must match exactly; timings within a tolerance.  Refresh with::
+
+    pytest tests/obs/test_golden_traces.py --update-goldens
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import dump_jsonl, load_jsonl, normalize_for_golden
+from repro.obs.export import diff_traces
+
+from tests.obs.conftest import TRACE_PROFILES, traced_runner
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+@pytest.mark.parametrize("profile", TRACE_PROFILES)
+def test_trace_matches_golden(profile, request):
+    runner = traced_runner(profile)
+    records = normalize_for_golden(runner.result.trace_records)
+    path = GOLDEN_DIR / f"speed-kit-{profile}.jsonl"
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        dump_jsonl(records, path)
+        pytest.skip(f"updated golden {path.name}")
+    assert path.exists(), (
+        f"missing golden {path}; generate it with --update-goldens"
+    )
+    golden = load_jsonl(path)
+    problems = diff_traces(records, golden, tolerance=1e-4)
+    assert problems == [], "trace deviates from golden:\n" + "\n".join(
+        problems
+    )
+
+
+@pytest.mark.parametrize("profile", TRACE_PROFILES)
+def test_trace_is_deterministic_per_seed(profile):
+    """Two replays of the same seed produce identical span records."""
+    first = traced_runner(profile).result.trace_records
+    from tests.obs.conftest import SimulationRunner, small_workload, spec_for
+
+    catalog, users, trace = small_workload()
+    rerun = SimulationRunner(spec_for(profile), catalog, users, trace)
+    rerun.run()
+    assert rerun.result.trace_records == first
+
+
+def test_golden_covers_the_full_request_path():
+    """The committed trace exercises every instrumented hop type."""
+    runner = traced_runner("none")
+    names = {record["name"] for record in runner.result.trace_records}
+    for expected in (
+        "pageview",
+        "request",
+        "sw",
+        "sketch-fetch",
+        "transport",
+        "edge",
+        "origin",
+        "invalidation",
+        "purge",
+    ):
+        assert expected in names, f"no {expected!r} span recorded"
+
+
+def test_chaos_trace_records_fault_events():
+    runner = traced_runner("chaos")
+    events = {
+        event["name"]
+        for record in runner.result.trace_records
+        for event in record.get("events", ())
+    }
+    assert events & {
+        "retry",
+        "lost-request",
+        "lost-response",
+        "breaker-open",
+        "edge-down",
+    }, f"no fault events in chaos trace: {sorted(events)}"
+
+
+def test_verdicts_and_versions_are_recorded():
+    runner = traced_runner("none")
+    verdicts = {
+        record["attrs"].get("verdict")
+        for record in runner.result.trace_records
+        if record["name"] == "sw"
+    }
+    assert "hit" in verdicts
+    assert verdicts & {"fetch", "revalidate"}
+    versions = [
+        record["attrs"].get("version")
+        for record in runner.result.trace_records
+        if record["name"] == "edge"
+        and record["attrs"].get("verdict") == "fill"
+    ]
+    assert versions and all(v is not None for v in versions)

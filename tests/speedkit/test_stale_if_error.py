@@ -97,6 +97,41 @@ class TestBoundedDegradedServing:
         response = run(env, worker.fetch(get("/product/1")))
         assert response.status == Status.SERVICE_UNAVAILABLE
 
+    def test_degraded_serving_is_not_counted_as_cache_hit(
+        self, env, make_faulty_worker, faulty_transport, backend, config
+    ):
+        """Regression: the degradation ladder used to bump the SW
+        cache's "hit" counter, making outages *raise* the hit ratio."""
+        config.stale_if_error_window = 60.0
+        worker = make_faulty_worker()
+        warm_flag_and_kill(env, worker, backend, faulty_transport)
+        hits_before = worker.metrics.counter("sw.sw:client.hit").value
+        response = run(env, worker.fetch(get("/product/1")))
+        assert response.headers.get("X-Stale-If-Error") == "1"
+        assert (
+            worker.metrics.counter("sw.sw:client.hit").value
+            == hits_before
+        )
+        assert (
+            worker.metrics.counter(
+                "speedkit.client.served_from_cache"
+            ).value
+            == 0
+        )
+
+    def test_offline_serving_is_not_counted_as_cache_hit(
+        self, env, make_faulty_worker, faulty_transport, backend, config
+    ):
+        worker = make_faulty_worker()
+        warm_flag_and_kill(env, worker, backend, faulty_transport)
+        hits_before = worker.metrics.counter("sw.sw:client.hit").value
+        response = run(env, worker.fetch(get("/product/1")))
+        assert response.headers.get("X-SpeedKit-Offline") == "1"
+        assert (
+            worker.metrics.counter("sw.sw:client.hit").value
+            == hits_before
+        )
+
     def test_no_window_keeps_historical_offline_behaviour(
         self, env, make_faulty_worker, faulty_transport, backend, config
     ):

@@ -75,7 +75,7 @@ def test_gen_trace_and_replay(tmp_path, capsys):
             "run",
             "--scenario",
             "classic-cdn",
-            "--trace",
+            "--replay",
             str(trace_path),
             "--users",
             "8",
@@ -85,6 +85,23 @@ def test_gen_trace_and_replay(tmp_path, capsys):
     )
     assert code == 0
     assert "classic-cdn" in capsys.readouterr().out
+
+
+def test_run_trace_writes_span_dump(tmp_path, capsys):
+    import json
+
+    spans_path = tmp_path / "spans.jsonl"
+    code = main(
+        ["run", "--scenario", "speed-kit", "--trace", str(spans_path)]
+        + QUICK
+    )
+    assert code == 0
+    assert "Per-tier latency attribution" in capsys.readouterr().out
+    lines = spans_path.read_text().splitlines()
+    assert lines
+    records = [json.loads(line) for line in lines]
+    assert any(record["name"] == "pageview" for record in records)
+    assert any(record["name"] == "origin" for record in records)
 
 
 def test_run_writes_json_record(tmp_path, capsys):
