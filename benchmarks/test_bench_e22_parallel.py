@@ -1,0 +1,153 @@
+"""E22 — Sharded parallel simulation: throughput and speedup.
+
+Sweeps the user population (10^3 toward 10^6 in full mode; a scaled-
+down pair of points in smoke mode) holding per-user activity constant,
+and replays each point serially and sharded. Reported per point:
+kernel events/second and the wall-clock speedup of the sharded run
+over the serial one.
+
+The claims under test:
+
+* the merged result preserves the workload exactly — page views and
+  coherence verdicts match the serial run at every scale;
+* sharding pays: at 10^5+ users with at least two real workers, the
+  sharded run is at least 2x faster end to end (full mode; the smoke
+  sweep stays small enough for a PR pipeline, where only merge
+  exactness and reporting are asserted).
+"""
+
+import os
+import random
+
+from repro.harness import Scenario, ScenarioSpec, SimulationRunner, format_table
+from repro.parallel import ShardedSimulationRunner, default_workers
+from repro.workload import (
+    CatalogConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_catalog,
+    generate_users,
+)
+
+from benchmarks.conftest import SMOKE, emit
+
+#: Sessions per user per second — fixed, so total load scales with
+#: the population and the sweep measures the *simulator*, not a
+#: denser workload.
+PER_USER_SESSION_RATE = 0.002
+
+#: Population sweep. Full mode walks 10^3 -> 10^6; the event budget is
+#: capped by shortening the duration past 10^5 users so the largest
+#: point stresses population size (most users appear once) rather
+#: than raw event count.
+USER_SWEEP = (
+    (400, 1_600) if SMOKE else (1_000, 10_000, 100_000, 1_000_000)
+)
+N_SHARDS = 8
+
+
+def _workload(n_users: int):
+    # Cap total sessions so the largest points stress population size
+    # (most users appear at most once) rather than raw event count:
+    # duration shrinks once n_users * rate would exceed the budget.
+    max_sessions = 120_000.0
+    duration = max(
+        60.0,
+        min(600.0, max_sessions / (n_users * PER_USER_SESSION_RATE)),
+    )
+    catalog = generate_catalog(
+        CatalogConfig(n_products=60), random.Random(0)
+    )
+    users = generate_users(
+        UserPopulationConfig(n_users=n_users, consent_fraction=1.0),
+        random.Random(1),
+    )
+    config = WorkloadConfig(
+        duration=duration,
+        session_rate=n_users * PER_USER_SESSION_RATE,
+        write_rate=0.05,
+    )
+    trace = WorkloadGenerator(catalog, users, config).generate(
+        random.Random(2)
+    )
+    return catalog, users, trace
+
+
+def test_bench_e22_parallel_speedup(benchmark):
+    workers = default_workers(N_SHARDS)
+    spec = ScenarioSpec(scenario=Scenario.SPEED_KIT, delta=60.0)
+    rows = []
+    largest = None
+    for n_users in USER_SWEEP:
+        catalog, users, trace = _workload(n_users)
+        serial = SimulationRunner(spec, catalog, users, trace).run()
+        merged = ShardedSimulationRunner(
+            spec,
+            catalog,
+            users,
+            trace,
+            n_shards=N_SHARDS,
+            workers=workers,
+        ).run()
+
+        # Exact workload preservation and identical verdicts, at
+        # every scale.
+        assert merged.page_views == serial.page_views
+        assert merged.plt.count == serial.plt.count
+        assert merged.delta_violations == serial.delta_violations == 0
+
+        speedup = (
+            serial.wall_seconds / merged.wall_seconds
+            if merged.wall_seconds > 0
+            else 0.0
+        )
+        largest = (n_users, speedup)
+        rows.append(
+            {
+                "users": n_users,
+                "trace_events": len(trace),
+                "shards": N_SHARDS,
+                "workers": workers,
+                "serial_s": round(serial.wall_seconds, 2),
+                "sharded_s": round(merged.wall_seconds, 2),
+                "serial_ev_per_s": f"{serial.events_per_second():,.0f}",
+                "sharded_ev_per_s": f"{merged.events_per_second():,.0f}",
+                "speedup": round(speedup, 2),
+            }
+        )
+        # The headline claim: at 10^5+ users with real parallelism,
+        # sharding at least halves the wall clock.
+        if n_users >= 100_000 and workers >= 2:
+            assert speedup >= 2.0, (
+                f"{n_users} users, {workers} workers: speedup "
+                f"{speedup:.2f} < 2.0"
+            )
+
+    emit(
+        "e22_parallel",
+        format_table(
+            rows,
+            title=(
+                "E22: sharded parallel simulation "
+                f"({'smoke' if SMOKE else 'full'} sweep, "
+                f"{os.cpu_count()} cpus)"
+            ),
+        ),
+    )
+
+    # Time one small sharded replay for the pytest-benchmark record.
+    catalog, users, trace = _workload(USER_SWEEP[0])
+    benchmark.pedantic(
+        lambda: ShardedSimulationRunner(
+            spec,
+            catalog,
+            users,
+            trace,
+            n_shards=N_SHARDS,
+            workers=workers,
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert largest is not None

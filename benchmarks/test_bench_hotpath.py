@@ -1,0 +1,75 @@
+"""Kernel hot-path microbenchmarks: the raw-speed floor.
+
+The sharded orchestrator multiplies whatever the single-kernel event
+loop can do, so the loop itself is benchmarked here: schedule-and-
+drain throughput of the event heap, and the RNG substream derivation
+the per-shard reseeding leans on. Bounds are set ~8x below local
+measurements so slow CI runners never flake while order-of-magnitude
+regressions (e.g. reintroducing per-event dict allocation or method
+dispatch in the drain loop) still fail loudly.
+"""
+
+import time
+
+from repro.harness import format_table
+from repro.sim import Environment, RngStreams
+from repro.sim.rng import spawn_seed
+
+from benchmarks.conftest import emit
+
+#: Conservative floors (events or draws per second).
+MIN_KERNEL_EVENTS_PER_S = 50_000
+MIN_SPAWNS_PER_S = 20_000
+
+
+def _drain_throughput(n_processes: int) -> float:
+    env = Environment()
+
+    def waiter(delay):
+        yield env.timeout(delay)
+
+    for i in range(n_processes):
+        env.process(waiter((i % 100) / 10.0))
+    started = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - started
+    return env.steps / elapsed
+
+
+def test_bench_event_heap_throughput(benchmark):
+    rates = [_drain_throughput(20_000) for _ in range(3)]
+    best = max(rates)
+    emit(
+        "hotpath_kernel",
+        format_table(
+            [
+                {
+                    "kernel_events_per_s": f"{best:,.0f}",
+                    "floor": f"{MIN_KERNEL_EVENTS_PER_S:,}",
+                }
+            ],
+            title="Kernel drain-loop throughput (timeout-heavy)",
+        ),
+    )
+    assert best > MIN_KERNEL_EVENTS_PER_S
+    benchmark.pedantic(
+        lambda: _drain_throughput(5_000), rounds=3, iterations=1
+    )
+
+
+def test_bench_spawn_derivation_rate(benchmark):
+    def spawn_block():
+        streams = RngStreams(0)
+        return [
+            streams.spawn(index).stream("network").random()
+            for index in range(2_000)
+        ]
+
+    started = time.perf_counter()
+    draws = spawn_block()
+    elapsed = time.perf_counter() - started
+    assert len(set(draws)) == len(draws)  # no colliding substreams
+    rate = len(draws) / elapsed
+    assert rate > MIN_SPAWNS_PER_S
+    assert spawn_seed(0, 1) != spawn_seed(0, 2)
+    benchmark.pedantic(spawn_block, rounds=3, iterations=1)

@@ -60,6 +60,20 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         "--replay", default=None, help="replay a saved workload trace"
     )
     parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="partition users across N parallel simulation kernels and "
+        "merge results exactly (1 = the serial kernel, bit-identical)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for --shards (default: min(shards, "
+        "cpus); results never depend on this)",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         choices=list(BACKEND_KINDS),
@@ -212,8 +226,27 @@ def _build_workload(args):
     return catalog, users, trace
 
 
-def _run(spec: ScenarioSpec, workload) -> "RunResult":
+def _run(spec: ScenarioSpec, workload, args=None) -> "RunResult":
     catalog, users, trace = workload
+    n_shards = getattr(args, "shards", 1) if args is not None else 1
+    if n_shards > 1:
+        from repro.parallel import ShardedSimulationRunner
+
+        result = ShardedSimulationRunner(
+            spec,
+            catalog,
+            users,
+            trace,
+            n_shards=n_shards,
+            workers=getattr(args, "workers", None),
+        ).run()
+        print(
+            f"{n_shards} shards: {result.kernel_events} kernel events "
+            f"in {result.wall_seconds:.2f}s "
+            f"({result.events_per_second():,.0f} events/s)",
+            file=sys.stderr,
+        )
+        return result
     return SimulationRunner(spec, catalog, users, trace).run()
 
 
@@ -230,7 +263,7 @@ def cmd_run(args) -> int:
         **_replication_kwargs(args),
         **_fault_kwargs(args),
     )
-    result = _run(spec, workload)
+    result = _run(spec, workload, args)
     if args.json:
         import json
 
@@ -284,6 +317,7 @@ def cmd_compare(args) -> int:
                     **_fault_kwargs(args),
                 ),
                 workload,
+                args,
             )
         )
     print(
@@ -322,6 +356,7 @@ def cmd_sweep_delta(args) -> int:
                 **_fault_kwargs(args),
             ),
             workload,
+            args,
         )
         rows.append(
             {
@@ -352,6 +387,7 @@ def cmd_sweep_segments(args) -> int:
                 **_fault_kwargs(args),
             ),
             workload,
+            args,
         )
         rows.append(
             {
@@ -385,6 +421,7 @@ def cmd_report(args) -> int:
                     **_fault_kwargs(args),
                 ),
                 workload,
+                args,
             )
         )
     report = render_report(results, trace=trace)

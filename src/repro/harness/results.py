@@ -61,6 +61,18 @@ class RunResult:
     #: Exported span records of the whole run (``None`` unless the run
     #: recorded traces); the JSONL exporter serializes exactly these.
     trace_records: Optional[List[dict]] = field(default=None, repr=False)
+    #: Throughput accounting: trace events replayed and kernel events
+    #: (event-queue pops) executed — the numerator of events/second.
+    events_processed: int = 0
+    kernel_events: int = 0
+    #: How many sim-kernel shards produced this result (1 = serial).
+    n_shards: int = 1
+    #: Wall-clock seconds spent producing this result. Serial runs
+    #: stamp the replay duration; the sharded orchestrator re-stamps
+    #: the merged result with end-to-end elapsed time so
+    #: :meth:`events_per_second` reports real aggregate throughput.
+    #: Excluded from :meth:`to_dict` (host-dependent) and equality.
+    wall_seconds: float = field(default=0.0, compare=False)
 
     # -- derived ----------------------------------------------------------
 
@@ -135,11 +147,100 @@ class RunResult:
             return 1.0
         return 1.0 - self.personalization_misses / self.personalization_checks
 
+    def events_per_second(self) -> float:
+        """Kernel events executed per wall-clock second (0 if untimed)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.kernel_events / self.wall_seconds
+
+    def merge(self, other: "RunResult") -> "RunResult":
+        """Fold one shard's result into self (the exact-merge path).
+
+        Counters sum, the metric registries merge collector-by-
+        collector (histograms concatenate raw values, quantile sketches
+        use their exact bucket merge), extrema take the max, and trace
+        records concatenate. The per-dimension histogram maps are
+        re-pointed at the merged registry entries, so ``self.plt`` and
+        friends stay aliases of registry-owned histograms — merging the
+        registry once merges them too (never merge them separately,
+        that would double-count).
+        """
+        if other.scenario_name != self.scenario_name:
+            raise ValueError(
+                f"cannot merge run of {other.scenario_name!r} into "
+                f"{self.scenario_name!r}"
+            )
+        if (
+            self.metrics.histogram("plt.all") is not self.plt
+            or other.metrics.histogram("plt.all") is not other.plt
+        ):
+            raise ValueError(
+                "merge requires registry-owned PLT histograms "
+                "('plt.all'); runner-produced results satisfy this"
+            )
+        self.metrics.merge(other.metrics)
+        for kind in other.plt_by_page_kind:
+            self.plt_by_page_kind.setdefault(
+                kind, self.metrics.histogram(f"plt.page.{kind}")
+            )
+        for conn in other.plt_by_connection:
+            self.plt_by_connection.setdefault(
+                conn, self.metrics.histogram(f"plt.conn.{conn}")
+            )
+        for layer, count in other.served_by_layer.items():
+            self.served_by_layer[layer] = (
+                self.served_by_layer.get(layer, 0) + count
+            )
+        for layer, kinds in other.served_by_kind.items():
+            ours = self.served_by_kind.setdefault(layer, {})
+            for kind, count in kinds.items():
+                ours[kind] = ours.get(kind, 0) + count
+        for layer, count in other.served_degraded_by_layer.items():
+            self.served_degraded_by_layer[layer] = (
+                self.served_degraded_by_layer.get(layer, 0) + count
+            )
+        self.reads_checked += other.reads_checked
+        self.stale_reads += other.stale_reads
+        self.delta_violations += other.delta_violations
+        self.max_staleness = max(self.max_staleness, other.max_staleness)
+        self.uncovered_max_staleness = max(
+            self.uncovered_max_staleness, other.uncovered_max_staleness
+        )
+        self.sketch_fetches += other.sketch_fetches
+        self.sketch_bytes += other.sketch_bytes
+        self.requests_scrubbed += other.requests_scrubbed
+        self.origin_requests += other.origin_requests
+        self.page_views += other.page_views
+        self.failed_responses += other.failed_responses
+        self.origin_egress_bytes += other.origin_egress_bytes
+        self.edge_egress_bytes += other.edge_egress_bytes
+        self.personalization_checks += other.personalization_checks
+        self.personalization_misses += other.personalization_misses
+        if other.tier_breakdown is not None:
+            if self.tier_breakdown is None:
+                self.tier_breakdown = {}
+            for tier, seconds in other.tier_breakdown.items():
+                self.tier_breakdown[tier] = (
+                    self.tier_breakdown.get(tier, 0.0) + seconds
+                )
+        if other.trace_records is not None:
+            if self.trace_records is None:
+                self.trace_records = []
+            self.trace_records.extend(other.trace_records)
+        self.events_processed += other.events_processed
+        self.kernel_events += other.kernel_events
+        self.n_shards += other.n_shards
+        self.wall_seconds += other.wall_seconds
+        return self
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-serializable record of the run (for result archives)."""
         record: Dict[str, object] = {
             "scenario": self.scenario_name,
             "page_views": self.page_views,
+            "events_processed": self.events_processed,
+            "kernel_events": self.kernel_events,
+            "n_shards": self.n_shards,
             "served_by_layer": dict(self.served_by_layer),
             "served_by_kind": {
                 layer: dict(kinds)

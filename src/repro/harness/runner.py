@@ -502,10 +502,16 @@ class SimulationRunner:
 
     def run(self) -> RunResult:
         """Replay the whole trace; returns aggregated results."""
+        import time
+
+        started = time.perf_counter()
         self._build()
         self.env.process(self._dispatcher())
         self.env.run()
         self._finalize()
+        self.result.events_processed = len(self.trace)
+        self.result.kernel_events = self.env.steps
+        self.result.wall_seconds = time.perf_counter() - started
         return self.result
 
     def _dispatcher(self) -> Generator:

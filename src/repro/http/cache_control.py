@@ -16,6 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+#: Memoized parses keyed by raw header value. Bounded so adversarial
+#: header diversity cannot grow it without limit; real runs see a few
+#: dozen distinct values.
+_PARSE_CACHE: Dict[Optional[str], "CacheControl"] = {}
+_PARSE_CACHE_LIMIT = 4096
+
 
 @dataclass
 class CacheControl:
@@ -53,7 +59,22 @@ class CacheControl:
         Unknown directives are preserved in :attr:`extensions`. Invalid
         numeric values make the directive behave as most-conservative
         (treated as 0), per RFC 7234 §4.2.1 guidance.
+
+        Parses are memoized by the raw header string: the simulator
+        re-parses the same handful of values millions of times on the
+        hot path, and parsed instances are treated as immutable
+        everywhere (nothing in the codebase mutates one after parse).
         """
+        cached = _PARSE_CACHE.get(header_value)
+        if cached is not None:
+            return cached
+        cc = cls._parse_uncached(header_value)
+        if len(_PARSE_CACHE) < _PARSE_CACHE_LIMIT:
+            _PARSE_CACHE[header_value] = cc
+        return cc
+
+    @classmethod
+    def _parse_uncached(cls, header_value: Optional[str]) -> "CacheControl":
         cc = cls()
         if not header_value:
             return cc

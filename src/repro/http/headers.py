@@ -13,12 +13,25 @@ class Headers:
     Values are always strings.
     """
 
+    __slots__ = ("_items",)
+
     def __init__(self, initial: Optional[Mapping[str, str]] = None) -> None:
         # canonical (lower) name -> (display name, value)
-        self._items: Dict[str, Tuple[str, str]] = {}
+        items: Dict[str, Tuple[str, str]] = {}
+        self._items = items
         if initial:
+            # Inlined __setitem__: header maps are built on every hop,
+            # so the construction loop avoids the per-key method call
+            # and the double lookup (first spelling wins for display,
+            # last value wins — same semantics as repeated assignment).
+            get = items.get
             for name, value in initial.items():
-                self[name] = value
+                key = name.lower()
+                prev = get(key)
+                items[key] = (
+                    name if prev is None else prev[0],
+                    str(value),
+                )
 
     def __setitem__(self, name: str, value: str) -> None:
         key = name.lower()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.http.cache_control import CacheControl
@@ -73,10 +73,22 @@ class Request:
         """A copy with one header added/replaced (headers deep-copied)."""
         headers = self.headers.copy()
         headers[name] = value
-        return replace(self, headers=headers)
+        return self._with_headers(headers)
 
     def copy(self) -> "Request":
-        return replace(self, headers=self.headers.copy())
+        return self._with_headers(self.headers.copy())
+
+    def _with_headers(self, headers: Headers) -> "Request":
+        # Direct construction: ``dataclasses.replace`` re-walks the
+        # field list per call, and requests are copied on every hop.
+        return Request(
+            method=self.method,
+            url=self.url,
+            headers=headers,
+            body=self.body,
+            client_id=self.client_id,
+            trace=self.trace,
+        )
 
     def __repr__(self) -> str:
         return f"Request({self.method.value} {self.url})"
@@ -122,7 +134,15 @@ class Response:
         ``Age`` header added at serve time) cannot corrupt the stored
         entry.
         """
-        return replace(self, headers=self.headers.copy())
+        return Response(
+            status=self.status,
+            headers=self.headers.copy(),
+            body=self.body,
+            url=self.url,
+            version=self.version,
+            served_by=self.served_by,
+            generated_at=self.generated_at,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -42,6 +42,20 @@ class MetricsRegistry(MetricRegistry):
     def sketch_names(self):
         return sorted(self._sketches)
 
+    def merge(self, other: MetricRegistry) -> "MetricsRegistry":
+        """Fold another registry into self (exact for every collector).
+
+        Counters/gauges sum, histograms concatenate, series interleave
+        (the base-registry contract), and quantile sketches use their
+        exact, order-independent bucket merge — so the merged registry
+        answers every query as if it had ingested all shards' streams.
+        """
+        super().merge(other)
+        if isinstance(other, MetricsRegistry):
+            for name, sketch in other._sketches.items():
+                self.sketch(name, sketch.relative_accuracy).merge(sketch)
+        return self
+
     def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
         """Counter values keyed by the name remainder after ``prefix``."""
         return {

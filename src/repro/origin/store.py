@@ -23,6 +23,25 @@ from repro.origin.query import Query
 from repro.storage.backend import CacheBackend, InMemoryBackend
 
 
+def _copy_data(value: Any) -> Any:
+    """Deep-copy JSON-like document data without ``copy.deepcopy``.
+
+    Documents hold plain JSON-shaped values (dicts, lists, scalars).
+    ``copy.deepcopy``'s generic memo machinery is a measurable share of
+    origin read cost; this recursion handles the JSON shapes directly
+    and falls back to ``deepcopy`` only for exotic values.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, dict):
+        return {key: _copy_data(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_data(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_copy_data(item) for item in value)
+    return copy.deepcopy(value)
+
+
 @dataclass(frozen=True)
 class Document:
     """An immutable snapshot of one stored document."""
@@ -136,7 +155,7 @@ class DocumentStore:
         after = Document(
             collection=collection,
             doc_id=doc_id,
-            data=copy.deepcopy(dict(data)),
+            data=_copy_data(dict(data)),
             version=version,
             updated_at=at,
         )
@@ -214,7 +233,7 @@ class DocumentStore:
         return Document(
             collection=doc.collection,
             doc_id=doc.doc_id,
-            data=copy.deepcopy(dict(doc.data)),
+            data=_copy_data(dict(doc.data)),
             version=doc.version,
             updated_at=doc.updated_at,
         )

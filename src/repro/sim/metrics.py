@@ -63,6 +63,17 @@ class Histogram:
         for value in values:
             self.observe(value)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s raw observations into self (exact concat).
+
+        Percentile/mean queries over the merged histogram are identical
+        to queries over one histogram fed both observation streams —
+        raw values are retained, so the merge is exact and
+        order-independent up to the (irrelevant) storage order.
+        """
+        self.extend(other._values)
+        return self
+
     def __len__(self) -> int:
         return len(self._values)
 
@@ -147,6 +158,11 @@ class TimeSeries:
     def record(self, time: float, value: float) -> None:
         self.points.append((float(time), float(value)))
 
+    def merge(self, other: "TimeSeries") -> "TimeSeries":
+        """Fold ``other``'s points into self, keeping time order."""
+        self.points = sorted(self.points + other.points)
+        return self
+
     def __len__(self) -> int:
         return len(self.points)
 
@@ -185,6 +201,27 @@ class MetricRegistry:
     def counter_names(self) -> List[str]:
         """Names of all counters created so far (sorted)."""
         return sorted(self._counters)
+
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold another registry into self, metric by metric.
+
+        The merge is *exact* for every collector type: counters and
+        gauges sum, histograms concatenate their raw observations, and
+        time series interleave their points in time order. Metrics
+        present only in ``other`` are created. This is the registry
+        half of the sharded-simulation merge contract — merging N
+        per-shard registries is equivalent to one registry having
+        observed all N event streams.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).value += counter.value
+        for name, gauge in other._gauges.items():
+            self.gauge(name).value += gauge.value
+        for name, hist in other._histograms.items():
+            self.histogram(name).merge(hist)
+        for name, series in other._series.items():
+            self.series(name).merge(series)
+        return self
 
     def snapshot(self) -> Dict[str, object]:
         """A flat dict of every metric's current value/summary."""

@@ -9,11 +9,33 @@ user-personalized (never shared; fetched directly with credentials).
 from __future__ import annotations
 
 import fnmatch
+import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 from repro.http.messages import Request
 from repro.storage import BackendSpec
+
+
+@lru_cache(maxsize=256)
+def _compile_globs(patterns: Tuple[str, ...]) -> "re.Pattern[str]":
+    """One compiled alternation for a tuple of shell-style globs.
+
+    Routing decisions run per request on the hot path; matching one
+    precompiled regex beats calling :func:`fnmatch.fnmatch` per pattern
+    (which re-resolves its cache and normcases the path every call).
+    Semantics are identical to ``fnmatch.fnmatch`` on POSIX paths.
+    """
+    return re.compile(
+        "|".join(f"(?:{fnmatch.translate(p)})" for p in patterns)
+    )
+
+
+def _matches_globs(path: str, patterns: Sequence[str]) -> bool:
+    if not patterns:
+        return False
+    return _compile_globs(tuple(patterns)).match(path) is not None
 
 
 @dataclass
@@ -33,14 +55,11 @@ class RoutingRules:
         if not request.method.is_safe:
             return False
         path = request.url.path
-        for pattern in self.blacklist:
-            if fnmatch.fnmatch(path, pattern):
-                return False
+        if _matches_globs(path, self.blacklist):
+            return False
         if not self.whitelist:
             return True
-        return any(
-            fnmatch.fnmatch(path, pattern) for pattern in self.whitelist
-        )
+        return _matches_globs(path, self.whitelist)
 
 
 @dataclass
@@ -99,7 +118,7 @@ class SpeedKitConfig:
         self.backend = BackendSpec.parse(self.backend)
 
     def _matches_any(self, path: str, patterns: Sequence[str]) -> bool:
-        return any(fnmatch.fnmatch(path, pattern) for pattern in patterns)
+        return _matches_globs(path, patterns)
 
     def is_segment_personalized(self, request: Request) -> bool:
         return self._matches_any(request.url.path, self.segment_personalized)

@@ -11,7 +11,6 @@ is how the policy layer above learns about engine-initiated evictions.
 
 from __future__ import annotations
 
-import itertools
 import zlib
 from typing import (
     Any,
@@ -91,10 +90,18 @@ class ShardedBackend(CacheBackend):
 
     def scan(self, prefix: str = "") -> Iterator[Tuple[str, Any]]:
         # A prefix scan must visit ALL shards: hash routing scatters
-        # keys sharing a prefix across the whole partition set.
-        return itertools.chain.from_iterable(
-            shard.scan(prefix) for shard in self.shards
-        )
+        # keys sharing a prefix across the whole partition set. The
+        # visits are eager, get_many-style — one charged round trip
+        # per shard at call time — so the simulated cost is exactly
+        # one scan per shard (O(n_shards), independent of entry count)
+        # and does not depend on how much of the iterator the caller
+        # consumes, or on when it is consumed relative to a latency
+        # drain. (The previous lazy chain deferred each shard's charge
+        # to iteration time and skipped unvisited shards entirely.)
+        results: List[Tuple[str, Any]] = []
+        for shard in self.shards:
+            results.extend(shard.scan(prefix))
+        return iter(results)
 
     # -- batched operations (scatter-gather across shards) -----------------
 

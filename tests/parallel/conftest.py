@@ -1,0 +1,28 @@
+"""Shared workload fixtures for the parallel-simulation tests."""
+
+import random
+
+import pytest
+
+from repro.workload.catalog import CatalogConfig, generate_catalog
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.users import UserPopulationConfig, generate_users
+
+
+def build_workload(seed=0, n_users=24, n_products=40, duration=600.0):
+    catalog = generate_catalog(
+        CatalogConfig(n_products=n_products), random.Random(seed)
+    )
+    users = generate_users(
+        UserPopulationConfig(n_users=n_users), random.Random(seed + 1)
+    )
+    trace = WorkloadGenerator(
+        catalog, users, WorkloadConfig(duration=duration)
+    ).generate(random.Random(seed + 2))
+    return catalog, users, trace
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """One small deterministic workload shared by the whole module."""
+    return build_workload()

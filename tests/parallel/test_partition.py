@@ -1,0 +1,82 @@
+"""Partitioning: balanced, deterministic, and loss-free."""
+
+import pytest
+
+from repro.parallel import assign_users, partition_users, shard_trace
+from repro.workload.trace import (
+    CartAdd,
+    PageView,
+    ProductUpdate,
+)
+
+
+def test_assignment_is_balanced_and_total():
+    ids = [f"u{i}" for i in range(25)]
+    shards = partition_users(ids, 4)
+    assert sorted(uid for shard in shards for uid in shard) == sorted(ids)
+    sizes = [len(shard) for shard in shards]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_assignment_is_deterministic_and_order_free():
+    ids = [f"u{i}" for i in range(17)]
+    assert assign_users(ids, 3) == assign_users(list(reversed(ids)), 3)
+
+
+def test_one_shard_owns_everyone():
+    ids = ["u3", "u1", "u2"]
+    assert partition_users(ids, 1) == [sorted(ids)]
+
+
+def test_rejects_nonpositive_shards():
+    with pytest.raises(ValueError):
+        assign_users(["u1"], 0)
+
+
+def test_shard_trace_keeps_all_product_updates(workload):
+    _, _, trace = workload
+    updates = [
+        event for event in trace.events
+        if isinstance(event, ProductUpdate)
+    ]
+    assert updates, "workload must exercise the write stream"
+    shards = partition_users(sorted(trace.users_seen()), 4)
+    for owned in shards:
+        sliced = shard_trace(trace, owned)
+        kept_updates = [
+            event for event in sliced.events
+            if isinstance(event, ProductUpdate)
+        ]
+        assert kept_updates == updates
+        assert sliced.duration == trace.duration
+
+
+def test_shard_traces_partition_user_events(workload):
+    _, _, trace = workload
+    shards = partition_users(sorted(trace.users_seen()), 3)
+    per_shard = [shard_trace(trace, owned) for owned in shards]
+    # Every user event lands on exactly one shard...
+    user_events = [
+        event for event in trace.events
+        if isinstance(event, (PageView, CartAdd))
+    ]
+    scattered = [
+        event
+        for sliced in per_shard
+        for event in sliced.events
+        if isinstance(event, (PageView, CartAdd))
+    ]
+    assert len(scattered) == len(user_events)
+    # ... and only events of users that shard owns.
+    for owned, sliced in zip(shards, per_shard):
+        members = set(owned)
+        for event in sliced.events:
+            if isinstance(event, (PageView, CartAdd)):
+                assert event.user_id in members
+
+
+def test_shard_trace_preserves_event_order(workload):
+    _, _, trace = workload
+    (owned,) = partition_users(sorted(trace.users_seen()), 1)
+    sliced = shard_trace(trace, owned)
+    assert sliced.events == list(trace.events)
