@@ -244,6 +244,26 @@ class CacheStore:
             self.remove(key)
         return len(victims)
 
+    def erase_matching(self, predicate) -> List[str]:
+        """Drop every entry whose ``(key, entry)`` matches.
+
+        The policy-level erasure walk: victims are found through the
+        key index (reaches every shard) and removed with one batched
+        ``remove_many``, so recency/LFU bookkeeping stays consistent —
+        erasing behind the policy layer's back would leave phantom
+        keys in the recency order. Not counted as invalidations:
+        erasure is a compliance action, not coherence traffic.
+        """
+        victims = [
+            key
+            for key in list(self._order)
+            if (entry := self.backend.peek(key)) is not None
+            and predicate(key, entry)
+        ]
+        if victims:
+            self.remove_many(victims, count_as_invalidation=False)
+        return victims
+
     def clear(self) -> None:
         self.backend.clear()
         self._order.clear()

@@ -167,6 +167,23 @@ class PopReplicator:
         for key in keys:
             self._purged_at[key] = now
 
+    def drop_in_flight_matching(self, predicate) -> int:
+        """Supersede every in-flight replica whose key matches.
+
+        The erasure path: replicas of an erased user's entries may be
+        travelling between PoPs right now, and without this they would
+        re-materialize the bytes at a sibling *after* the purge walk.
+        Reuses the purge-supersession machinery — stamping the keys
+        with the current instant drops every copy sent at or before it.
+        Returns how many in-flight replicas were superseded.
+        """
+        matched = [key for key in self._in_flight if predicate(key)]
+        if not matched:
+            return 0
+        superseded = self.in_flight_for(matched)
+        self.note_purged(matched)
+        return superseded
+
     def note_purged_prefix(self, prefix: str) -> None:
         self._prune(self.env.now)
         self._purged_prefixes.append((prefix, self.env.now))
@@ -204,3 +221,18 @@ class PopReplicator:
     def in_flight_for(self, keys: Iterable[str]) -> int:
         """How many in-flight replicas a purge of ``keys`` supersedes."""
         return sum(self._in_flight.get(key, 0) for key in keys)
+
+    def in_flight_matching(self, predicate) -> List[str]:
+        """Matching in-flight keys that could still *apply* somewhere.
+
+        A replica superseded by a purge stamped this instant is still
+        travelling, but it can only be dropped on arrival — it can
+        never serve. The erasure completeness check therefore counts
+        only live (non-superseded) matching replicas as residuals.
+        """
+        now = self.env.now
+        return [
+            key
+            for key in self._in_flight
+            if predicate(key) and not self._superseded(key, now)
+        ]

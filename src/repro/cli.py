@@ -29,9 +29,11 @@ from repro.harness import (
 from repro.storage import BACKEND_KINDS, BackendSpec
 from repro.workload import (
     CatalogConfig,
+    EraseUser,
     UserPopulationConfig,
     WorkloadConfig,
     WorkloadGenerator,
+    WorkloadTrace,
     dump_trace,
     generate_catalog,
     generate_users,
@@ -150,6 +152,16 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         help="enable retry-with-backoff for origin exchanges with this "
         "total per-request time budget",
     )
+    parser.add_argument(
+        "--gdpr-mix",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="GDPRbench-style request mix: erase FRACTION of the "
+        "active logged-in users after their last activity and "
+        "interleave subject-access reads at FRACTION x the session "
+        "rate",
+    )
 
 
 def _backend_spec(args) -> Optional[BackendSpec]:
@@ -215,10 +227,13 @@ def _build_workload(args):
         trace = load_trace(args.replay)
     else:
         duration = 900.0 if args.quick else args.duration
+        gdpr_mix = getattr(args, "gdpr_mix", None) or 0.0
         config = WorkloadConfig(
             duration=duration,
             session_rate=args.session_rate,
             write_rate=args.write_rate,
+            erase_fraction=gdpr_mix,
+            access_rate=gdpr_mix * args.session_rate,
         )
         trace = WorkloadGenerator(catalog, users, config).generate(
             random.Random(args.seed + 2)
@@ -434,6 +449,72 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_erase(args) -> int:
+    """Run a scenario, erase users at end-of-trace, audit residuals.
+
+    The exit code is the compliance verdict: 0 when every requested
+    erasure completed with zero residuals across all tiers, 1 when any
+    residual survived. CI's package-smoke step runs this against the
+    installed wheel.
+    """
+    scenario = Scenario(args.scenario)
+    catalog, users, trace = _build_workload(args)
+    seen = set(trace.users_seen())
+    if args.user:
+        unknown = [uid for uid in args.user if uid not in seen]
+        if unknown:
+            raise SystemExit(
+                f"user(s) not present in the trace: {', '.join(unknown)}"
+            )
+        targets = sorted(set(args.user))
+    else:
+        targets = sorted(
+            uid for uid in seen if users.by_id(uid).logged_in
+        )
+    if not targets:
+        raise SystemExit("no logged-in users in the trace to erase")
+    # Erasure requests land at end-of-trace so every target's organic
+    # traffic (and the state it deposited) precedes the request.
+    events = list(trace.events) + [
+        EraseUser(at=trace.duration, user_id=uid) for uid in targets
+    ]
+    trace = WorkloadTrace(events=events, duration=trace.duration)
+    trace.validate()
+    spec = ScenarioSpec(
+        scenario=scenario,
+        delta=args.delta,
+        backend=_backend_spec(args),
+        batch_waves=args.batch_waves,
+        **_replication_kwargs(args),
+        **_fault_kwargs(args),
+    )
+    result = _run(spec, (catalog, users, trace), args)
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"wrote result record to {args.json}", file=sys.stderr)
+    row = {
+        "erase_requests": result.erasures,
+        "entries_removed": result.erasure_removed,
+        "queued_scrubbed": result.erasure_queued_scrubbed,
+        "replicas_dropped": result.erasure_replicas_dropped,
+        "spans_scrubbed": result.spans_scrubbed,
+        "residuals": result.erasure_residuals,
+    }
+    print(format_table([row], title="Right-to-erasure audit"))
+    compliant = (
+        result.erasure_residuals == 0 and result.erasures >= len(targets)
+    )
+    print(
+        "COMPLIANT: all erasures completed with zero residuals"
+        if compliant
+        else "NON-COMPLIANT: residual user data survived erasure"
+    )
+    return 0 if compliant else 1
+
+
 def cmd_gen_trace(args) -> int:
     args.replay = None  # always generate fresh here
     _, _, trace = _build_workload(args)
@@ -501,6 +582,31 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--out", default=None)
     _add_workload_args(report_parser)
     report_parser.set_defaults(handler=cmd_report)
+
+    erase_parser = sub.add_parser(
+        "erase",
+        help="erase users at end-of-trace and audit for residuals "
+        "(exit 1 on any residual)",
+    )
+    erase_parser.add_argument(
+        "--scenario",
+        default=Scenario.SPEED_KIT.value,
+        choices=[scenario.value for scenario in Scenario],
+    )
+    erase_parser.add_argument("--delta", type=float, default=60.0)
+    erase_parser.add_argument(
+        "--user",
+        action="append",
+        default=None,
+        metavar="USER_ID",
+        help="erase this user (repeatable; default: every logged-in "
+        "user seen in the trace)",
+    )
+    erase_parser.add_argument(
+        "--json", default=None, help="also write the full result record"
+    )
+    _add_workload_args(erase_parser)
+    erase_parser.set_defaults(handler=cmd_erase)
 
     trace_parser = sub.add_parser("gen-trace", help="generate a trace file")
     trace_parser.add_argument("--out", required=True)

@@ -105,6 +105,25 @@ class FlakyBackend(CacheBackend):
     def peek(self, key: str) -> Optional[Any]:
         return self.inner.peek(key)
 
+    def erase_matching(self, predicate) -> Dict[str, Any]:
+        # Erasure is a mutation path: like writes, it must reach the
+        # real engine un-dropped (failed deletion would be silent
+        # non-compliance, not graceful degradation).
+        return self.inner.erase_matching(predicate)
+
+    def scrub_pending(self, predicate) -> int:
+        return self.inner.scrub_pending(predicate)
+
+    def residuals_matching(self, predicate) -> list:
+        return self.inner.residuals_matching(predicate)
+
+    def sync(self) -> float:
+        return self.inner.sync()
+
+    def queued_matching(self, predicate) -> list:
+        queued = getattr(self.inner, "queued_matching", None)
+        return queued(predicate) if queued is not None else []
+
     def pending_latency(self) -> float:
         return self.inner.pending_latency()
 

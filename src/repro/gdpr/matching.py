@@ -1,0 +1,89 @@
+"""Deciding which bytes belong to a data subject.
+
+Erasure completeness hinges on the question "is this entry about user
+X?" being answered the same way at every tier. The matcher answers it
+structurally rather than per-tier: a *key* matches when the user id
+appears as a whole token in the key string (``carts/u5``,
+``/api/products/3?__user=u5``), and a *value* matches when the id
+appears as a whole token anywhere in its string representation —
+recursing through dicts, lists, and the simulation's response/document
+shapes. Token boundaries matter: erasing ``u1`` must not take ``u12``
+with it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = ["UserDataMatcher"]
+
+_TOKEN_CHARS = "A-Za-z0-9_"
+
+
+class UserDataMatcher:
+    """Token-boundary matcher for one user's data across all tiers."""
+
+    def __init__(self, user_id: str) -> None:
+        if not user_id:
+            raise ValueError("user_id must be non-empty")
+        self.user_id = user_id
+        self._pattern = re.compile(
+            f"(?<![{_TOKEN_CHARS}])" + re.escape(user_id) + f"(?![{_TOKEN_CHARS}])"
+        )
+
+    def matches_text(self, text: str) -> bool:
+        return bool(self._pattern.search(text))
+
+    def matches_key(self, key: str) -> bool:
+        """True when a cache/store key names this user."""
+        return self.matches_text(key)
+
+    def matches_value(self, value: Any) -> bool:
+        """True when the stored value carries this user's bytes.
+
+        Walks the plain-data shapes the simulation stores: strings,
+        dicts, lists/tuples/sets, and objects exposing ``__dict__``
+        (CacheEntry, Response, Document). Cycles are impossible in the
+        sim's JSON-shaped payloads, so the walk is a simple recursion.
+        """
+        return self._walk(value, depth=0)
+
+    def _walk(self, value: Any, depth: int) -> bool:
+        if depth > 12:  # defensive bound; sim payloads are shallow
+            return False
+        if value is None or isinstance(value, (bool, int, float)):
+            return False
+        if isinstance(value, str):
+            return self.matches_text(value)
+        if isinstance(value, bytes):
+            return self.matches_text(value.decode("utf-8", errors="replace"))
+        if isinstance(value, dict):
+            return any(
+                self._walk(k, depth + 1) or self._walk(v, depth + 1)
+                for k, v in value.items()
+            )
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return any(self._walk(item, depth + 1) for item in value)
+        inner = getattr(value, "__dict__", None)
+        if inner is not None:
+            return self._walk(inner, depth + 1)
+        slots = getattr(type(value), "__slots__", None)
+        if slots:
+            return any(
+                self._walk(getattr(value, name, None), depth + 1) for name in slots
+            )
+        return False
+
+    def matches_entry(self, key: str, value: Any) -> bool:
+        """True when either the key or the stored value names the user."""
+        return self.matches_key(key) or self.matches_value(value)
+
+    def __call__(self, key: str) -> bool:
+        # Plain key predicate, so a matcher can be handed anywhere a
+        # ``Callable[[str], bool]`` is expected (purge fan-outs,
+        # replicator supersession, sketch forgetting).
+        return self.matches_key(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UserDataMatcher({self.user_id!r})"

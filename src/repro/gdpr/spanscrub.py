@@ -1,0 +1,73 @@
+"""Key-hash scrubbing of user identifiers in exported spans.
+
+Traces are operational telemetry, not content, but span attributes
+carry user ids (``user=``, keys like ``carts/u5``) — enough to be
+personal data under Art. 4. Erasure therefore rewrites exported span
+records, replacing every token-bounded occurrence of an erased user's
+id with a stable one-way hash (``erased-<sha256 prefix>``). The hash
+keeps spans correlatable (all of one subject's spans still share a
+token, so latency attribution survives) while severing the link to the
+identity — the same pseudonymisation trade the paper's Speed Kit makes
+for cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+from repro.gdpr.matching import UserDataMatcher
+
+__all__ = ["user_hash", "scrub_span_records"]
+
+
+def user_hash(user_id: str) -> str:
+    """Stable pseudonym for an erased user id."""
+    digest = hashlib.sha256(user_id.encode("utf-8")).hexdigest()
+    return f"erased-{digest[:12]}"
+
+
+def _scrub_text(text: str, matcher: UserDataMatcher, replacement: str) -> str:
+    return matcher._pattern.sub(replacement, text)
+
+
+def _scrub_value(value: Any, matcher: UserDataMatcher, replacement: str) -> Any:
+    if isinstance(value, str):
+        return _scrub_text(value, matcher, replacement)
+    if isinstance(value, dict):
+        return {
+            _scrub_value(k, matcher, replacement): _scrub_value(
+                v, matcher, replacement
+            )
+            for k, v in value.items()
+        }
+    if isinstance(value, list):
+        return [_scrub_value(item, matcher, replacement) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_scrub_value(item, matcher, replacement) for item in value)
+    return value
+
+
+def scrub_span_records(
+    records: Iterable[dict[str, Any]], user_ids: Iterable[str]
+) -> list[dict[str, Any]]:
+    """Return span records with every erased user id pseudonymised.
+
+    Operates on the plain-dict record shape produced by
+    :func:`repro.obs.export.span_records`, so it composes with the
+    exporters without touching live spans. Records are deep-copied on
+    rewrite; untouched records are returned as-is.
+    """
+    matchers = [
+        (UserDataMatcher(uid), user_hash(uid)) for uid in dict.fromkeys(user_ids) if uid
+    ]
+    if not matchers:
+        return list(records)
+    scrubbed = []
+    for record in records:
+        out = record
+        for matcher, replacement in matchers:
+            if matcher.matches_value(out):
+                out = _scrub_value(out, matcher, replacement)
+        scrubbed.append(out)
+    return scrubbed

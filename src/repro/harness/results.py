@@ -54,6 +54,17 @@ class RunResult:
     #: a full identity-personalized render) vs. anonymous fallbacks.
     personalization_checks: int = 0
     personalization_misses: int = 0
+    #: GDPR accounting: data-subject requests served and the erasure
+    #: outcome. ``erasure_residuals`` is the compliance gate — any
+    #: nonzero value means user bytes survived an erase somewhere.
+    erasures: int = 0
+    accesses: int = 0
+    erasure_removed: int = 0
+    erasure_residuals: int = 0
+    erasure_replicas_dropped: int = 0
+    erasure_queued_scrubbed: int = 0
+    #: Exported span records rewritten by the erasure scrubbing pass.
+    spans_scrubbed: int = 0
     #: Per-tier latency attribution (tier -> total critical-path
     #: seconds across all traced page views); ``None`` unless the run
     #: recorded traces.
@@ -216,6 +227,13 @@ class RunResult:
         self.edge_egress_bytes += other.edge_egress_bytes
         self.personalization_checks += other.personalization_checks
         self.personalization_misses += other.personalization_misses
+        self.erasures += other.erasures
+        self.accesses += other.accesses
+        self.erasure_removed += other.erasure_removed
+        self.erasure_residuals += other.erasure_residuals
+        self.erasure_replicas_dropped += other.erasure_replicas_dropped
+        self.erasure_queued_scrubbed += other.erasure_queued_scrubbed
+        self.spans_scrubbed += other.spans_scrubbed
         if other.tier_breakdown is not None:
             if self.tier_breakdown is None:
                 self.tier_breakdown = {}
@@ -265,6 +283,13 @@ class RunResult:
             "sketch_fetches": self.sketch_fetches,
             "sketch_bytes": self.sketch_bytes,
             "requests_scrubbed": self.requests_scrubbed,
+            "erasures": self.erasures,
+            "accesses": self.accesses,
+            "erasure_removed": self.erasure_removed,
+            "erasure_residuals": self.erasure_residuals,
+            "erasure_replicas_dropped": self.erasure_replicas_dropped,
+            "erasure_queued_scrubbed": self.erasure_queued_scrubbed,
+            "spans_scrubbed": self.spans_scrubbed,
         }
         if len(self.plt):
             record["plt"] = {

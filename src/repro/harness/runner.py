@@ -34,7 +34,9 @@ from repro.workload.catalog import Catalog
 from repro.workload.pages import PageBuilder
 from repro.workload.sitebuilder import build_ecommerce_site
 from repro.workload.trace import (
+    AccessUser,
     CartAdd,
+    EraseUser,
     PageView,
     ProductUpdate,
     WorkloadTrace,
@@ -314,6 +316,21 @@ class SimulationRunner:
             self.server, delta=float("inf")
         )
         self._stacks: Dict[str, object] = {}
+        # The erasure/access coordinator sees the whole assembled
+        # stack; client caches are resolved lazily (stacks are built
+        # on first traffic), so an erase always walks every cache that
+        # exists at that instant.
+        from repro.gdpr import ErasureCoordinator
+
+        self.gdpr = ErasureCoordinator(
+            store=self.server.site.store,
+            cdn=self.cdn,
+            sketch=self.sketch,
+            client_stores=self._client_cache_stores,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            now_fn=lambda: self.env.now,
+        )
         self._engines: Dict[str, PageLoadEngine] = {}
         self._prefetchers: Dict[str, object] = {}
         self._navigation_model = None
@@ -486,6 +503,32 @@ class SimulationRunner:
             tracer=self.tracer,
         )
 
+    def _client_cache_stores(self) -> Dict[str, object]:
+        """Every client-side cache store, by tier label.
+
+        Covers both halves of a Speed Kit stack: the service-worker
+        cache *and* the fallback browser cache behind it (pass-through
+        and user-blocklisted requests land there).
+        """
+        tiers: Dict[str, object] = {}
+
+        def add(label: str, cache) -> None:
+            store = getattr(cache, "store", None)
+            if store is not None:
+                tiers[label] = store
+
+        for user_id, stack in self._stacks.items():
+            inner = getattr(stack, "inner", stack)
+            if isinstance(inner, ServiceWorkerProxy):
+                add(f"sw:{user_id}", inner.cache)
+                add(
+                    f"browser:{user_id}",
+                    getattr(inner.fallback, "cache", None),
+                )
+            else:
+                add(f"browser:{user_id}", getattr(inner, "cache", None))
+        return tiers
+
     def _engine_for(self, user: User) -> PageLoadEngine:
         engine = self._engines.get(user.user_id)
         if engine is None:
@@ -530,6 +573,10 @@ class SimulationRunner:
                 )
             elif isinstance(event, CartAdd):
                 self.env.process(self._handle_cart_add(event))
+            elif isinstance(event, EraseUser):
+                self.env.process(self._handle_erase(event))
+            elif isinstance(event, AccessUser):
+                self.env.process(self._handle_access(event))
 
     def _handle_page_view(self, event: PageView) -> Generator:
         user = self.users.by_id(event.user_id)
@@ -597,6 +644,24 @@ class SimulationRunner:
         yield from stack.fetch(request)
         self.tracer.finish(span, self.env.now)
         return None
+
+    def _handle_erase(self, event: EraseUser) -> Generator:
+        """Serve one Art. 17 request: walk, verify, charge the latency."""
+        report = self.gdpr.erase(event.user_id)
+        self.result.erasures += 1
+        self.result.erasure_removed += report.entries_removed
+        self.result.erasure_residuals += report.residual_count
+        self.result.erasure_replicas_dropped += report.replicas_dropped
+        self.result.erasure_queued_scrubbed += sum(
+            report.queued_scrubbed.values()
+        )
+        yield self.env.timeout(max(0.0, report.simulated_latency))
+
+    def _handle_access(self, event: AccessUser) -> Generator:
+        """Serve one Art. 15 request (read-only walk)."""
+        report = self.gdpr.access(event.user_id)
+        self.result.accesses += 1
+        yield self.env.timeout(max(0.0, report.simulated_latency))
 
     # -- recording ---------------------------------------------------------------
 
@@ -754,6 +819,19 @@ class SimulationRunner:
         )
 
         records = span_records(self.tracer.spans)
+        if self.gdpr.erased_users:
+            # Right to erasure extends to telemetry: rewrite exported
+            # records so no span carries an erased user's id. Scrubbed
+            # copies are new objects, so the rewrite count is exact.
+            from repro.gdpr import scrub_span_records
+
+            scrubbed = scrub_span_records(records, self.gdpr.erased_users)
+            self.result.spans_scrubbed += sum(
+                1
+                for before, after in zip(records, scrubbed)
+                if before is not after
+            )
+            records = scrubbed
         result = self.result
         result.trace_records = records
         result.tier_breakdown = tier_breakdown(records)

@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.workload.trace import CartAdd, PageView, WorkloadTrace
+from repro.workload.trace import (
+    AccessUser,
+    CartAdd,
+    EraseUser,
+    PageView,
+    WorkloadTrace,
+)
 
 __all__ = ["assign_users", "partition_users", "shard_trace"]
 
@@ -50,8 +56,11 @@ def shard_trace(
 ) -> WorkloadTrace:
     """The slice of ``trace`` one shard replays.
 
-    User-originated events are kept iff the user is in ``owned``;
-    every :class:`~repro.workload.trace.ProductUpdate` is kept so the
+    User-originated events — page views, cart adds, and the user's own
+    GDPR erase/access requests — are kept iff the user is in ``owned``
+    (a user's bytes only ever live on the shard that replays their
+    traffic, so their erasure walks that same shard); every
+    :class:`~repro.workload.trace.ProductUpdate` is kept so the
     shard's origin applies the full write stream. Event order (and
     therefore each event's timestamp) is preserved, so a shard's
     kernel replays a strictly time-ordered sub-trace.
@@ -60,7 +69,9 @@ def shard_trace(
     events = [
         event
         for event in trace.events
-        if not isinstance(event, (PageView, CartAdd))
+        if not isinstance(
+            event, (PageView, CartAdd, EraseUser, AccessUser)
+        )
         or event.user_id in members
     ]
     return WorkloadTrace(events=events, duration=trace.duration)

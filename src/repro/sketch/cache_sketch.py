@@ -117,6 +117,28 @@ class ServerCacheSketch:
             if self._expirations.get(key) == time:
                 del self._expirations[key]
 
+    # -- GDPR erasure --------------------------------------------------------
+
+    def forget_matching(self, predicate, now: float) -> int:
+        """Drop every tracked key that matches — expirations, pending
+        removals, and the filter membership itself.
+
+        The sketch stores plaintext key strings (``carts/u5`` and the
+        user-variant URLs), which makes it personal data in its own
+        right; erasure must forget them, not wait for expiry. Returns
+        the number of keys forgotten.
+        """
+        self.advance(now)
+        matched = {key for key in self._expirations if predicate(key)}
+        matched.update(key for key in self._scheduled if predicate(key))
+        for key in matched:
+            self._expirations.pop(key, None)
+            if self._scheduled.pop(key, None) is not None:
+                self.filter.remove(key)
+        # Heap leftovers for forgotten keys are harmless: advance()
+        # discards entries whose key no longer matches the dicts.
+        return len(matched)
+
     # -- queries ------------------------------------------------------------
 
     def contains(self, key: str, now: float) -> bool:

@@ -136,6 +136,43 @@ class CacheBackend(ABC):
                 removed[key] = value
         return removed
 
+    # -- GDPR erasure hooks -----------------------------------------------
+
+    def erase_matching(
+        self, predicate: Callable[[str, Any], bool]
+    ) -> Dict[str, Any]:
+        """Remove every entry whose ``(key, value)`` matches.
+
+        One scan to find, one batched removal to drop — sharded
+        engines scatter-gather the removal, batched engines pipeline
+        it. Returns the removed ``{key: value}`` map.
+        """
+        matched = [key for key, value in self.scan() if predicate(key, value)]
+        return self.remove_many(matched) if matched else {}
+
+    def scrub_pending(self, predicate: Callable[[str, Any], bool]) -> int:
+        """Scrub matching bytes out of not-yet-applied mutation queues.
+
+        Engines without asynchronous buffers hold no pending bytes and
+        return 0; the write-behind engine overrides this to cancel
+        queued matching puts in place. Returns the number of queued
+        mutations scrubbed.
+        """
+        return 0
+
+    def residuals_matching(
+        self, predicate: Callable[[str, Any], bool]
+    ) -> List[str]:
+        """Locations still holding matching bytes, bypassing overlays.
+
+        The completeness check behind the GDPR gate: after an erase
+        walk this must come back empty. The default inspects the read
+        view; engines with internal buffers (write-behind queues)
+        override it to look *inside* them rather than through the
+        merged view, so a tombstone can never mask surviving bytes.
+        """
+        return [key for key, value in self.scan() if predicate(key, value)]
+
     # -- derived helpers --------------------------------------------------
 
     def peek(self, key: str) -> Optional[Any]:
@@ -147,6 +184,15 @@ class CacheBackend(ABC):
 
     def __contains__(self, key: str) -> bool:
         return self.peek(key) is not None
+
+    def sync(self) -> float:
+        """Durability barrier: flush asynchronous buffers, if any.
+
+        Returns the simulated time the barrier takes. Synchronous
+        engines are always durable and return 0; the write-behind
+        engine overrides this with its epoch-flush barrier.
+        """
+        return 0.0
 
     # -- simulated operation cost -----------------------------------------
 

@@ -151,6 +151,24 @@ class ShardedBackend(CacheBackend):
         for shard in self.shards:
             shard.clear()
 
+    # -- GDPR erasure hooks -----------------------------------------------
+
+    def scrub_pending(self, predicate) -> int:
+        # Per-shard queues (write-behind sub-engines) scrub locally.
+        return sum(shard.scrub_pending(predicate) for shard in self.shards)
+
+    def residuals_matching(self, predicate) -> List[str]:
+        # Ask each shard directly so sub-engine overlays are bypassed.
+        residual: List[str] = []
+        for shard in self.shards:
+            residual.extend(shard.residuals_matching(predicate))
+        return residual
+
+    def sync(self) -> float:
+        # Shard barriers run in parallel partitions; the conservative
+        # serialized composition matches drain_latency's.
+        return sum(shard.sync() for shard in self.shards)
+
     # -- per-shard capacity -----------------------------------------------
 
     def _over_capacity(self, shard: CacheBackend) -> bool:

@@ -356,6 +356,71 @@ class WriteBehindBackend(CacheBackend):
         self._flush_sealed()
         return outstanding + self.flush_interval + self.inner.drain_latency()
 
+    # -- GDPR erasure --------------------------------------------------------
+
+    def queued_matching(self, predicate) -> List[str]:
+        """Keys of queued, not-yet-flushed puts whose bytes match."""
+        hits: List[str] = []
+        for epoch in (*self._sealed, self._epoch):
+            for mutation in epoch:
+                if mutation[0] == "put" and predicate(
+                    mutation[1], mutation[2]
+                ):
+                    hits.append(mutation[1])
+        return hits
+
+    def scrub_pending(self, predicate) -> int:
+        """Cancel queued matching puts in place; tombstone the overlay.
+
+        A queued remove supersedes a queued put at *flush* time, but
+        until then the put's payload bytes sit acknowledged in the
+        epoch queue — exactly the async buffer retrofitted deletion
+        paths miss. Each matching ``put`` becomes a ``remove`` in its
+        own queue slot, so arrival order and overlay refcounts are
+        untouched while the buffered bytes are gone *now*, not at
+        flush time. The overlay is then recomputed for the affected
+        keys: a key whose last queued mutation was scrubbed ends
+        tombstoned (and leaves the visible accounting); a later
+        non-matching put survives untouched.
+        """
+        affected: set = set()
+        scrubbed = 0
+        for epoch in (*self._sealed, self._epoch):
+            for index, mutation in enumerate(epoch):
+                if mutation[0] == "put" and predicate(
+                    mutation[1], mutation[2]
+                ):
+                    epoch[index] = ("remove", mutation[1])
+                    affected.add(mutation[1])
+                    scrubbed += 1
+        if not scrubbed:
+            return 0
+        last: Dict[str, Tuple] = {}
+        for epoch in (*self._sealed, self._epoch):
+            for mutation in epoch:
+                if mutation[1] in affected:
+                    last[mutation[1]] = mutation
+        for key, mutation in last.items():
+            if mutation[0] == "put":
+                self._overlay[key] = (mutation[2], mutation[3])
+            else:
+                self._overlay[key] = (_TOMBSTONE, 0)
+                if self._visible(key):
+                    self._account_remove(key)
+        return scrubbed
+
+    def residuals_matching(self, predicate) -> List[str]:
+        # Bypass the read-your-writes overlay entirely: bytes are
+        # residual wherever they physically sit — in the inner engine
+        # even when masked by a queued tombstone, and in queued put
+        # payloads awaiting flush. (Every live overlay value is backed
+        # by a queued mutation, so the queues cover the overlay too.)
+        residual = list(self.inner.residuals_matching(predicate))
+        residual.extend(
+            f"queued:{key}" for key in self.queued_matching(predicate)
+        )
+        return residual
+
     # -- latency accounting ------------------------------------------------
 
     def pending_latency(self) -> float:

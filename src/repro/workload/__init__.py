@@ -22,7 +22,9 @@ from repro.workload.users import (
 from repro.workload.pages import PageBuilder
 from repro.workload.sitebuilder import build_ecommerce_site
 from repro.workload.trace import (
+    AccessUser,
     CartAdd,
+    EraseUser,
     PageView,
     ProductUpdate,
     TraceEvent,
@@ -34,9 +36,11 @@ from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 from repro.workload.serialization import dump_trace, load_trace
 
 __all__ = [
+    "AccessUser",
     "CartAdd",
     "Catalog",
     "CatalogConfig",
+    "EraseUser",
     "FlashSaleConfig",
     "MediaPageBuilder",
     "PageBuilder",

@@ -8,7 +8,9 @@ from typing import List, Optional
 
 from repro.workload.catalog import Catalog
 from repro.workload.trace import (
+    AccessUser,
     CartAdd,
+    EraseUser,
     PageView,
     ProductUpdate,
     WorkloadTrace,
@@ -38,8 +40,23 @@ class WorkloadConfig:
     nav_category: float = 0.35
     nav_product: float = 0.55
     nav_home: float = 0.10
+    #: GDPRbench-style mix: fraction of active logged-in users who file
+    #: an Art. 17 erasure request after their last activity (account
+    #: deletion — the user leaves, then asks to be forgotten).
+    erase_fraction: float = 0.0
+    #: Art. 15 subject-access requests per second (Poisson, sampled
+    #: over the active logged-in population) interleaved with traffic.
+    access_rate: float = 0.0
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.erase_fraction <= 1.0:
+            raise ValueError(
+                f"erase_fraction must be in [0, 1]: {self.erase_fraction}"
+            )
+        if self.access_rate < 0:
+            raise ValueError(
+                f"access_rate must be >= 0: {self.access_rate}"
+            )
         if self.duration <= 0:
             raise ValueError(f"duration must be positive: {self.duration}")
         if self.session_rate <= 0:
@@ -69,6 +86,7 @@ class WorkloadGenerator:
         trace = WorkloadTrace(duration=self.config.duration)
         trace.events.extend(self._session_events(rng))
         trace.events.extend(self._write_events(rng))
+        trace.events.extend(self._gdpr_events(trace.events, rng))
         trace.sort()
         trace.validate()
         return trace
@@ -134,6 +152,53 @@ class WorkloadGenerator:
         if roll < config.nav_category + config.nav_product:
             return "product", self.catalog.sample_product(rng).product_id
         return "home", ""
+
+    # -- GDPR requests (the GDPRbench-style mix) ---------------------------------
+
+    def _gdpr_events(self, events: List, rng: random.Random) -> List:
+        """Erase/access requests interleaved with the normal traffic.
+
+        Following the GDPR benchmarking papers, data-subject requests
+        arrive as part of the operational mix, not in a quiesced
+        system. Erasures model account deletion: a sampled fraction of
+        active logged-in users file one *after their last activity*,
+        so erased users generate no post-erase traffic (once erased,
+        their data must not reappear). Access requests are a Poisson
+        stream over the same population at any time — reads are safe
+        to interleave anywhere.
+        """
+        config = self.config
+        if config.erase_fraction <= 0 and config.access_rate <= 0:
+            return []
+        last_seen: dict = {}
+        for event in events:
+            user_id = getattr(event, "user_id", None)
+            if user_id is not None:
+                seen = last_seen.get(user_id, 0.0)
+                last_seen[user_id] = max(seen, event.at)
+        active = sorted(
+            uid
+            for uid in last_seen
+            if self.users.by_id(uid).logged_in
+        )
+        gdpr: List = []
+        if active and config.erase_fraction > 0:
+            count = max(1, round(len(active) * config.erase_fraction))
+            for uid in rng.sample(active, min(count, len(active))):
+                # Strictly after the last activity, inside the trace.
+                at = last_seen[uid] + rng.uniform(1.0, 30.0)
+                if at < config.duration:
+                    gdpr.append(EraseUser(at=at, user_id=uid))
+        if active and config.access_rate > 0:
+            now = 0.0
+            while True:
+                now += rng.expovariate(config.access_rate)
+                if now >= config.duration:
+                    break
+                gdpr.append(
+                    AccessUser(at=now, user_id=rng.choice(active))
+                )
+        return gdpr
 
     # -- background writes ------------------------------------------------------
 

@@ -13,7 +13,9 @@ from pathlib import Path
 from typing import IO, Union
 
 from repro.workload.trace import (
+    AccessUser,
     CartAdd,
+    EraseUser,
     PageView,
     ProductUpdate,
     TraceEvent,
@@ -26,6 +28,8 @@ _KINDS = {
     "page_view": PageView,
     "product_update": ProductUpdate,
     "cart_add": CartAdd,
+    "erase_user": EraseUser,
+    "access_user": AccessUser,
 }
 
 
@@ -51,6 +55,18 @@ def _event_to_record(event: TraceEvent) -> dict:
             "at": event.at,
             "user_id": event.user_id,
             "product_id": event.product_id,
+        }
+    if isinstance(event, EraseUser):
+        return {
+            "kind": "erase_user",
+            "at": event.at,
+            "user_id": event.user_id,
+        }
+    if isinstance(event, AccessUser):
+        return {
+            "kind": "access_user",
+            "at": event.at,
+            "user_id": event.user_id,
         }
     raise TypeError(f"unknown event type {type(event).__name__}")
 
@@ -78,6 +94,10 @@ def _record_to_event(record: dict) -> TraceEvent:
             user_id=record["user_id"],
             product_id=record["product_id"],
         )
+    if kind == "erase_user":
+        return EraseUser(at=record["at"], user_id=record["user_id"])
+    if kind == "access_user":
+        return AccessUser(at=record["at"], user_id=record["user_id"])
     raise ValueError(f"unknown event kind {kind!r}")
 
 

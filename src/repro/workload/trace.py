@@ -49,6 +49,20 @@ class CartAdd(TraceEvent):
     product_id: str = ""
 
 
+@dataclass(frozen=True)
+class EraseUser(TraceEvent):
+    """A GDPR Art. 17 request: erase this user's data everywhere."""
+
+    user_id: str = ""
+
+
+@dataclass(frozen=True)
+class AccessUser(TraceEvent):
+    """A GDPR Art. 15 request: report where this user's data lives."""
+
+    user_id: str = ""
+
+
 @dataclass
 class WorkloadTrace:
     """A complete, time-ordered workload."""
@@ -74,11 +88,17 @@ class WorkloadTrace:
     def cart_adds(self) -> List[CartAdd]:
         return [e for e in self.events if isinstance(e, CartAdd)]
 
+    def erasures(self) -> List["EraseUser"]:
+        return [e for e in self.events if isinstance(e, EraseUser)]
+
+    def accesses(self) -> List["AccessUser"]:
+        return [e for e in self.events if isinstance(e, AccessUser)]
+
     def users_seen(self) -> List[str]:
         seen = {
             event.user_id
             for event in self.events
-            if isinstance(event, (PageView, CartAdd))
+            if isinstance(event, (PageView, CartAdd, EraseUser, AccessUser))
         }
         return sorted(seen)
 

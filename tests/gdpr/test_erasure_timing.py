@@ -1,0 +1,126 @@
+"""Erasure under adverse timing.
+
+The walk must win its races: against a write-behind flush that has
+acknowledged but not applied the user's bytes, against an origin that
+is down when the request lands, and against a sharded-parallel run
+whose merged result must prove completeness exactly like the serial
+kernel.
+"""
+
+import pytest
+
+from repro.harness import Scenario, ScenarioSpec, SimulationRunner
+from repro.http.messages import Response, Status
+from repro.parallel import ShardedSimulationRunner
+from repro.storage import BackendSpec
+
+from tests.gdpr.test_erasure_completeness import (
+    SEEDS,
+    _workload,
+    run_config,
+)
+
+
+class TestEraseRacesWriteBehindFlush:
+    """The user's cart is acknowledged into a flush queue; the erase
+    arrives before the background flusher drains it."""
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_queued_bytes_are_scrubbed_not_flushed(self, seed):
+        runner = run_config("write-behind", seed)
+        user_id = "uracer"
+        key = f"/injected/carts/{user_id}"
+        pop = next(iter(runner.cdn.pops.values()))
+        pop.store.put(
+            key,
+            Response(
+                status=Status.OK, body=f"cart of {user_id}", version=1
+            ),
+            runner.env.now,
+        )
+        backend = pop.store.backend
+        # The ack is out but the bytes still sit in a flush epoch.
+        assert backend.queued_matching(lambda k, v: user_id in k) == [key]
+        report = runner.gdpr.erase(user_id)
+        assert sum(report.queued_scrubbed.values()) >= 1
+        assert report.complete, report.residuals
+        # The inner engine never saw the payload: the queued put was
+        # cancelled in place, not flushed and then deleted.
+        assert backend.inner.get(key) is None
+        assert runner.gdpr.residuals(user_id) == {}
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_erase_latency_includes_the_flush_barrier(self, seed):
+        runner = run_config("write-behind", seed)
+        user_id = "uracer2"
+        pop = next(iter(runner.cdn.pops.values()))
+        pop.store.put(
+            f"/injected/carts/{user_id}",
+            Response(
+                status=Status.OK, body=f"cart of {user_id}", version=1
+            ),
+            runner.env.now,
+        )
+        report = runner.gdpr.erase(user_id)
+        assert report.simulated_latency > 0.0
+
+
+class TestEraseDuringOutage:
+    """Fault-injected runs: the compliance verdict may not depend on
+    the origin being healthy when the request lands."""
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_outage_run_still_erases_completely(self, seed):
+        runner = run_config("faulted", seed)
+        assert runner._faults.total_downtime("origin") > 0
+        assert runner.result.erasures > 0
+        assert runner.result.erasure_residuals == 0
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_chaos_run_with_pop_failures_erases_completely(self, seed):
+        runner = run_config("chaos-replicated", seed)
+        assert runner.result.erasures > 0
+        assert runner.result.erasure_residuals == 0
+        for user_id in runner.gdpr.erased_users:
+            assert runner.gdpr.residuals(user_id) == {}
+
+
+class TestShardedErasure:
+    """GDPR requests route to the shard that owns the user, and the
+    merged result carries the exact compliance verdict."""
+
+    @pytest.fixture(scope="class", params=SEEDS, ids=lambda s: f"seed{s}")
+    def results(self, request):
+        seed = request.param
+        catalog, users, trace = _workload(seed)
+        spec = ScenarioSpec(
+            scenario=Scenario.SPEED_KIT,
+            delta=30.0,
+            seed=seed,
+            backend=BackendSpec(kind="write-behind"),
+        )
+        serial = SimulationRunner(spec, catalog, users, trace).run()
+        merged = ShardedSimulationRunner(
+            spec, catalog, users, trace, n_shards=2, workers=1
+        ).run()
+        return serial, merged
+
+    def test_gdpr_counts_merge_exactly(self, results):
+        serial, merged = results
+        assert merged.erasures == serial.erasures > 0
+        assert merged.accesses == serial.accesses > 0
+        assert merged.erasure_removed == serial.erasure_removed
+        assert (
+            merged.erasure_queued_scrubbed == serial.erasure_queued_scrubbed
+        )
+
+    def test_merged_run_is_compliant(self, results):
+        serial, merged = results
+        assert serial.erasure_residuals == 0
+        assert merged.erasure_residuals == 0
+
+    def test_merged_record_carries_the_gdpr_fields(self, results):
+        _, merged = results
+        record = merged.to_dict()
+        assert record["erasures"] == merged.erasures
+        assert record["erasure_residuals"] == 0

@@ -1,0 +1,76 @@
+"""UserDataMatcher: token-boundary identity matching over keys/values."""
+
+from dataclasses import dataclass
+
+from repro.gdpr import UserDataMatcher
+
+
+class TestKeyMatching:
+    def test_matches_the_bare_id(self):
+        assert UserDataMatcher("u1").matches_key("u1")
+
+    def test_matches_id_inside_a_path(self):
+        matcher = UserDataMatcher("u1")
+        assert matcher.matches_key("/api/documents/carts/u1")
+        assert matcher.matches_key("shop.example/carts/u1?fields=items")
+
+    def test_matches_id_in_query_params(self):
+        assert UserDataMatcher("u1").matches_key("/search?user=u1&q=shoes")
+
+    def test_prefix_ids_do_not_cross_match(self):
+        """u1 must never match u12's data (and vice versa)."""
+        assert not UserDataMatcher("u1").matches_key("/carts/u12")
+        assert not UserDataMatcher("u12").matches_key("/carts/u1")
+
+    def test_id_embedded_in_a_word_does_not_match(self):
+        matcher = UserDataMatcher("u1")
+        assert not matcher.matches_key("au1b")
+        assert not matcher.matches_key("menu1")
+        assert not matcher.matches_key("u1x")
+
+    def test_callable_protocol_is_the_key_predicate(self):
+        matcher = UserDataMatcher("u1")
+        assert matcher("/carts/u1")
+        assert not matcher("/carts/u2")
+
+
+@dataclass
+class _Doc:
+    owner: str
+    items: list
+
+
+class TestValueMatching:
+    def test_matches_plain_strings(self):
+        assert UserDataMatcher("u1").matches_value("cart of u1")
+
+    def test_matches_bytes(self):
+        assert UserDataMatcher("u1").matches_value(b"cart of u1")
+
+    def test_walks_nested_containers(self):
+        matcher = UserDataMatcher("u1")
+        assert matcher.matches_value({"orders": [{"owner": "u1"}]})
+        assert matcher.matches_value(("a", ["b", {"c": "user=u1"}]))
+
+    def test_walks_object_attributes(self):
+        matcher = UserDataMatcher("u1")
+        assert matcher.matches_value(_Doc(owner="u1", items=[]))
+        assert not matcher.matches_value(_Doc(owner="u2", items=[]))
+
+    def test_matches_dict_keys_too(self):
+        assert UserDataMatcher("u1").matches_value({"u1": "present"})
+
+    def test_non_matching_values(self):
+        matcher = UserDataMatcher("u1")
+        assert not matcher.matches_value("cart of u12")
+        assert not matcher.matches_value(42)
+        assert not matcher.matches_value(None)
+        assert not matcher.matches_value({"owner": "u2"})
+
+
+class TestEntryMatching:
+    def test_key_or_value_suffices(self):
+        matcher = UserDataMatcher("u1")
+        assert matcher.matches_entry("/carts/u1", "opaque")
+        assert matcher.matches_entry("/page", {"viewer": "u1"})
+        assert not matcher.matches_entry("/page", {"viewer": "u2"})

@@ -1,0 +1,79 @@
+"""Span-export scrubbing: erased identities leave the observability
+trail as stable pseudonyms, not as plaintext ids."""
+
+from repro.gdpr import scrub_span_records, user_hash
+
+
+def _records():
+    return [
+        {"name": "request", "user": "u1", "key": "/carts/u1", "ms": 12},
+        {"name": "request", "user": "u2", "key": "/carts/u2", "ms": 9},
+        {"name": "edge", "attrs": {"keys": ["/carts/u1", "/static/a"]}},
+        {"name": "static", "key": "/static/logo.png"},
+    ]
+
+
+class TestUserHash:
+    def test_deterministic(self):
+        assert user_hash("u1") == user_hash("u1")
+
+    def test_distinct_per_user(self):
+        assert user_hash("u1") != user_hash("u2")
+
+    def test_marked_as_erased(self):
+        assert user_hash("u1").startswith("erased-")
+
+    def test_does_not_leak_the_id(self):
+        assert "u1" not in user_hash("u1").replace("erased-", "")
+
+
+class TestScrubbing:
+    def test_replaces_every_occurrence_for_erased_users(self):
+        scrubbed = scrub_span_records(_records(), ["u1"])
+        pseudonym = user_hash("u1")
+        assert scrubbed[0]["user"] == pseudonym
+        assert scrubbed[0]["key"] == f"/carts/{pseudonym}"
+        assert scrubbed[2]["attrs"]["keys"][0] == f"/carts/{pseudonym}"
+
+    def test_correlation_survives_pseudonymisation(self):
+        """The same user maps to the same pseudonym across records."""
+        scrubbed = scrub_span_records(_records(), ["u1"])
+        assert scrubbed[0]["user"] in scrubbed[0]["key"]
+        assert scrubbed[0]["user"] in scrubbed[2]["attrs"]["keys"][0]
+
+    def test_other_users_untouched(self):
+        scrubbed = scrub_span_records(_records(), ["u1"])
+        assert scrubbed[1]["user"] == "u2"
+        assert scrubbed[1]["key"] == "/carts/u2"
+
+    def test_unmatched_records_keep_identity(self):
+        """Untouched records are returned as-is so callers can count
+        rewrites with an identity check."""
+        records = _records()
+        scrubbed = scrub_span_records(records, ["u1"])
+        assert scrubbed[3] is records[3]
+        assert scrubbed[0] is not records[0]
+
+    def test_non_numeric_fields_only(self):
+        scrubbed = scrub_span_records(_records(), ["u1"])
+        assert scrubbed[0]["ms"] == 12
+
+    def test_multiple_users_in_one_pass(self):
+        scrubbed = scrub_span_records(_records(), ["u1", "u2"])
+        assert scrubbed[0]["user"] == user_hash("u1")
+        assert scrubbed[1]["user"] == user_hash("u2")
+
+    def test_idempotent(self):
+        once = scrub_span_records(_records(), ["u1"])
+        twice = scrub_span_records(once, ["u1"])
+        assert twice == once
+
+    def test_no_plaintext_id_survives_anywhere(self):
+        import json
+
+        scrubbed = scrub_span_records(_records(), ["u1", "u2"])
+        from repro.gdpr import UserDataMatcher
+
+        blob = json.dumps(scrubbed)
+        assert not UserDataMatcher("u1").matches_text(blob)
+        assert not UserDataMatcher("u2").matches_text(blob)

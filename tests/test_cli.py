@@ -134,6 +134,98 @@ def test_report_to_stdout(capsys):
     assert "## Scenario comparison" in capsys.readouterr().out
 
 
+def test_erase_audits_all_logged_in_users(capsys):
+    assert main(["erase", "--seed", "3"] + QUICK) == 0
+    out = capsys.readouterr().out
+    assert "Right-to-erasure audit" in out
+    assert "COMPLIANT: all erasures completed with zero residuals" in out
+
+
+def test_erase_writes_json_record(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "erase.json"
+    code = main(
+        ["erase", "--seed", "3", "--json", str(out)] + QUICK
+    )
+    assert code == 0
+    record = json.loads(out.read_text())
+    assert record["erasures"] > 0
+    assert record["erasure_removed"] >= record["erasures"]
+    assert record["erasure_residuals"] == 0
+
+
+def test_erase_single_user_and_sharded(capsys):
+    import random
+
+    from repro.workload import (
+        CatalogConfig,
+        UserPopulationConfig,
+        WorkloadConfig,
+        WorkloadGenerator,
+        generate_catalog,
+        generate_users,
+    )
+
+    # Find a logged-in user the quick seed-3 trace actually contains.
+    catalog = generate_catalog(CatalogConfig(n_products=20), random.Random(3))
+    users = generate_users(
+        UserPopulationConfig(n_users=8), random.Random(4)
+    )
+    trace = WorkloadGenerator(
+        catalog, users, WorkloadConfig(duration=900.0, session_rate=0.05)
+    ).generate(random.Random(5))
+    target = next(
+        uid for uid in trace.users_seen() if users.by_id(uid).logged_in
+    )
+    code = main(
+        ["erase", "--seed", "3", "--user", target, "--shards", "2"] + QUICK
+    )
+    assert code == 0
+    assert "COMPLIANT" in capsys.readouterr().out
+
+
+def test_erase_rejects_unknown_user():
+    with pytest.raises(SystemExit):
+        main(["erase", "--seed", "3", "--user", "nobody"] + QUICK)
+
+
+def test_erase_with_write_behind_backend(capsys):
+    code = main(
+        ["erase", "--seed", "3", "--backend", "write-behind"] + QUICK
+    )
+    assert code == 0
+    assert "COMPLIANT" in capsys.readouterr().out
+
+
+def test_gdpr_mix_generates_requests(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "mix.json"
+    code = main(
+        [
+            "run",
+            "--scenario",
+            "speed-kit",
+            "--gdpr-mix",
+            "0.5",
+            "--json",
+            str(out),
+        ]
+        + QUICK
+    )
+    assert code == 0
+    record = json.loads(out.read_text())
+    assert record["erasures"] > 0
+    assert record["accesses"] > 0
+    assert record["erasure_residuals"] == 0
+
+
+def test_gdpr_mix_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        main(["run", "--gdpr-mix", "1.5"] + QUICK)
+
+
 def test_requires_a_command():
     with pytest.raises(SystemExit):
         main([])
