@@ -21,6 +21,7 @@ to the fault-free transport.
 
 from __future__ import annotations
 
+import json
 import random
 from typing import Generator, List, Optional, Sequence
 
@@ -29,15 +30,17 @@ from repro.cdn.network import Cdn
 from repro.http.freshness import conditional_request_for
 from repro.http.headers import Headers
 from repro.http.messages import (
+    Method,
     Request,
     Response,
     Status,
     make_not_modified,
     revalidates,
 )
+from repro.http.url import URL
 from repro.obs.span import NULL_SPAN
 from repro.obs.tracer import NOOP_TRACER
-from repro.origin.server import OriginServer
+from repro.origin.server import TXN_VALIDATE_PATH, OriginServer
 from repro.sim.environment import Environment
 from repro.simnet.topology import Topology
 
@@ -279,6 +282,42 @@ class Transport:
         return (
             response if response is not None else self._network_error(request)
         )
+
+    # -- transaction validation -------------------------------------------
+
+    def validate_txn(
+        self, from_node: str, version_map, parent=None
+    ) -> Generator:
+        """Optimistic serializable-read validation round trip.
+
+        Sends the transaction's version vector (``version_key →
+        version``) to the origin's validation endpoint and returns the
+        decoded verdict, or ``None`` when the exchange failed (outage,
+        lost messages, retry budget exhausted). Riding on
+        :meth:`_origin_exchange` gives the RPC the same fault, retry,
+        and backoff treatment as any other origin traffic.
+        """
+        request = Request(
+            method=Method.POST,
+            url=URL.parse(TXN_VALIDATE_PATH),
+            headers=Headers({"Cache-Control": "no-store"}),
+            body={"keys": dict(version_map)},
+        )
+        response = yield from self._origin_exchange(
+            from_node, request, parent=parent
+        )
+        if response.status != Status.OK or not response.body:
+            self._count("txn.validation_failures")
+            return None
+        try:
+            verdict = json.loads(response.body)
+        except (TypeError, ValueError):
+            self._count("txn.validation_failures")
+            return None
+        if "validated_at" not in verdict:
+            self._count("txn.validation_failures")
+            return None
+        return verdict
 
     # -- direct path --------------------------------------------------------
 

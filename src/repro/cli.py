@@ -162,6 +162,38 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         "interleave subject-access reads at FRACTION x the session "
         "rate",
     )
+    parser.add_argument(
+        "--txn-mix",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="probability that a page view is followed by a multi-key "
+        "read transaction (0 disables transactions; traces stay "
+        "bit-identical)",
+    )
+    parser.add_argument(
+        "--txn-keys",
+        type=_positive_int,
+        default=None,
+        help="distinct keys per transaction (default 3)",
+    )
+    parser.add_argument(
+        "--consistency",
+        default=None,
+        choices=["delta", "snapshot", "serializable"],
+        help="consistency level for multi-key read transactions: "
+        "per-key delta-atomicity, snapshot (version-cut certification "
+        "with origin re-fetch of violators), or serializable "
+        "(optimistic validation round trip at the origin)",
+    )
+    parser.add_argument(
+        "--txn-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serializable validation retries before an explicit, "
+        "marked degradation to snapshot (default 3)",
+    )
 
 
 def _backend_spec(args) -> Optional[BackendSpec]:
@@ -215,6 +247,18 @@ def _fault_kwargs(args) -> dict:
     return kwargs
 
 
+def _txn_kwargs(args) -> dict:
+    """ScenarioSpec kwargs for the transaction consistency flags."""
+    kwargs: dict = {}
+    consistency = getattr(args, "consistency", None)
+    if consistency is not None:
+        kwargs["consistency"] = consistency
+    txn_retries = getattr(args, "txn_retries", None)
+    if txn_retries is not None:
+        kwargs["txn_retry_limit"] = txn_retries
+    return kwargs
+
+
 def _build_workload(args):
     catalog = generate_catalog(
         CatalogConfig(n_products=args.products), random.Random(args.seed)
@@ -228,12 +272,18 @@ def _build_workload(args):
     else:
         duration = 900.0 if args.quick else args.duration
         gdpr_mix = getattr(args, "gdpr_mix", None) or 0.0
+        txn_kwargs = {}
+        if getattr(args, "txn_mix", None) is not None:
+            txn_kwargs["txn_mix"] = args.txn_mix
+        if getattr(args, "txn_keys", None) is not None:
+            txn_kwargs["txn_keys"] = args.txn_keys
         config = WorkloadConfig(
             duration=duration,
             session_rate=args.session_rate,
             write_rate=args.write_rate,
             erase_fraction=gdpr_mix,
             access_rate=gdpr_mix * args.session_rate,
+            **txn_kwargs,
         )
         trace = WorkloadGenerator(catalog, users, config).generate(
             random.Random(args.seed + 2)
@@ -277,6 +327,7 @@ def cmd_run(args) -> int:
         trace_requests=args.trace is not None,
         **_replication_kwargs(args),
         **_fault_kwargs(args),
+        **_txn_kwargs(args),
     )
     result = _run(spec, workload, args)
     if args.json:
@@ -299,6 +350,23 @@ def cmd_run(args) -> int:
     kinds = ("static", "page", "query", "api", "fragment")
     row = {kind: round(result.hit_ratio_for_kind(kind), 3) for kind in kinds}
     print(format_table([row], title="Hit ratio by content type"))
+    if result.txns:
+        print()
+        txn_row = {
+            "txns": result.txns,
+            "aborts": result.txn_aborts,
+            "retries": result.txn_validation_retries,
+            "refetches": result.txn_refetches,
+            "degraded": result.txn_degraded,
+            "fractured": result.txn_fractured_reads,
+            "serial_viol": result.txn_serialization_violations,
+            "silent_downgrades": result.txn_silent_downgrades,
+        }
+        print(
+            format_table(
+                [txn_row], title="Multi-key transaction consistency"
+            )
+        )
     if result.tier_breakdown:
         print()
         tier_row = {
@@ -330,6 +398,7 @@ def cmd_compare(args) -> int:
                     batch_waves=args.batch_waves,
                     **_replication_kwargs(args),
                     **_fault_kwargs(args),
+                    **_txn_kwargs(args),
                 ),
                 workload,
                 args,
@@ -369,6 +438,7 @@ def cmd_sweep_delta(args) -> int:
                 batch_waves=args.batch_waves,
                 **_replication_kwargs(args),
                 **_fault_kwargs(args),
+                **_txn_kwargs(args),
             ),
             workload,
             args,
@@ -400,6 +470,7 @@ def cmd_sweep_segments(args) -> int:
                 batch_waves=args.batch_waves,
                 **_replication_kwargs(args),
                 **_fault_kwargs(args),
+                **_txn_kwargs(args),
             ),
             workload,
             args,
@@ -434,6 +505,7 @@ def cmd_report(args) -> int:
                     batch_waves=args.batch_waves,
                     **_replication_kwargs(args),
                     **_fault_kwargs(args),
+                    **_txn_kwargs(args),
                 ),
                 workload,
                 args,
@@ -487,6 +559,7 @@ def cmd_erase(args) -> int:
         batch_waves=args.batch_waves,
         **_replication_kwargs(args),
         **_fault_kwargs(args),
+        **_txn_kwargs(args),
     )
     result = _run(spec, (catalog, users, trace), args)
     if args.json:

@@ -16,6 +16,7 @@ simulated read.
 from repro.coherence.checker import DeltaAtomicityChecker, ReadRecord
 from repro.coherence.decision import ReadDecision, decide
 from repro.coherence.client import SketchClient, SketchFetchStats
+from repro.coherence.txn import TxnConsistencyChecker, TxnRecord
 
 __all__ = [
     "DeltaAtomicityChecker",
@@ -23,5 +24,7 @@ __all__ = [
     "ReadRecord",
     "SketchClient",
     "SketchFetchStats",
+    "TxnConsistencyChecker",
+    "TxnRecord",
     "decide",
 ]

@@ -67,10 +67,18 @@ class ErasureReport:
     #: Exported span records rewritten for this user (stamped by the
     #: harness at export time).
     spans_scrubbed: int = 0
+    #: Buffered multi-key transaction reads poisoned mid-flight — an
+    #: erase racing an in-flight serializable validation must not let
+    #: the coordinator hand back the scrubbed bytes.
+    txn_buffers_scrubbed: int = 0
 
     @property
     def entries_removed(self) -> int:
-        return sum(self.cache_removed.values()) + len(self.origin_docs)
+        return (
+            sum(self.cache_removed.values())
+            + len(self.origin_docs)
+            + self.txn_buffers_scrubbed
+        )
 
     @property
     def residual_count(self) -> int:
@@ -96,6 +104,7 @@ class ErasureReport:
             },
             "erasure_latency": self.simulated_latency,
             "spans_scrubbed": self.spans_scrubbed,
+            "txn_buffers_scrubbed": self.txn_buffers_scrubbed,
             "complete": self.complete,
         }
 
@@ -159,11 +168,16 @@ class ErasureCoordinator:
         metrics=None,
         tracer=None,
         now_fn: Callable[[], float] = lambda: 0.0,
+        txn_registry=None,
     ) -> None:
         self.store = store
         self.cdn = cdn
         self.sketch = sketch
         self._client_stores = client_stores or (lambda: {})
+        #: In-flight multi-key transaction buffers (see
+        #: :class:`repro.txn.TxnRegistry`); scrubbed during erase so a
+        #: racing validation cannot resurrect erased bytes.
+        self.txn_registry = txn_registry
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._now = now_fn
@@ -264,13 +278,23 @@ class ErasureCoordinator:
                 report.queued_scrubbed[label] = scrubbed
             barrier += backend.sync()
 
-        # 5. The server Cache Sketch holds plaintext key strings.
+        # 5. In-flight transactions: a serializable multi-key read that
+        # started before this erase may be buffering the user's bytes
+        # while it waits on its validation round trip. Poison those
+        # buffers so the coordinator re-fetches them (observing the
+        # post-erase origin) instead of handing back scrubbed content.
+        if self.txn_registry is not None:
+            report.txn_buffers_scrubbed = self.txn_registry.scrub_matching(
+                matcher
+            )
+
+        # 6. The server Cache Sketch holds plaintext key strings.
         if self.sketch is not None:
             report.sketch_keys_forgotten = self.sketch.forget_matching(
                 matcher.matches_key, now
             )
 
-        # 6. Verify completeness through the deep residual view and
+        # 7. Verify completeness through the deep residual view and
         # charge the whole walk's simulated cost to this request.
         report.residuals = self._residuals(matcher)
         report.simulated_latency = barrier + self._drain(
@@ -346,6 +370,11 @@ class ErasureCoordinator:
                 if matcher.matches_key(key)
             ]
             note("sketch", sorted(set(sketch_keys)))
+        if self.txn_registry is not None:
+            note(
+                "txn-buffers",
+                self.txn_registry.buffers_matching(matcher),
+            )
         return found
 
     # -- access -------------------------------------------------------------

@@ -65,6 +65,19 @@ class RunResult:
     erasure_queued_scrubbed: int = 0
     #: Exported span records rewritten by the erasure scrubbing pass.
     spans_scrubbed: int = 0
+    #: Multi-key transaction accounting. ``txn_fractured_reads``,
+    #: ``txn_serialization_violations``, and ``txn_silent_downgrades``
+    #: are the ladder's compliance gates — all must be zero.
+    txns: int = 0
+    txn_aborts: int = 0
+    txn_validation_retries: int = 0
+    txn_refetches: int = 0
+    txn_degraded: int = 0
+    txn_erase_conflicts: int = 0
+    txn_fractured_reads: int = 0
+    txn_serialization_violations: int = 0
+    txn_silent_downgrades: int = 0
+    txn_buffers_scrubbed: int = 0
     #: Per-tier latency attribution (tier -> total critical-path
     #: seconds across all traced page views); ``None`` unless the run
     #: recorded traces.
@@ -234,6 +247,18 @@ class RunResult:
         self.erasure_replicas_dropped += other.erasure_replicas_dropped
         self.erasure_queued_scrubbed += other.erasure_queued_scrubbed
         self.spans_scrubbed += other.spans_scrubbed
+        self.txns += other.txns
+        self.txn_aborts += other.txn_aborts
+        self.txn_validation_retries += other.txn_validation_retries
+        self.txn_refetches += other.txn_refetches
+        self.txn_degraded += other.txn_degraded
+        self.txn_erase_conflicts += other.txn_erase_conflicts
+        self.txn_fractured_reads += other.txn_fractured_reads
+        self.txn_serialization_violations += (
+            other.txn_serialization_violations
+        )
+        self.txn_silent_downgrades += other.txn_silent_downgrades
+        self.txn_buffers_scrubbed += other.txn_buffers_scrubbed
         if other.tier_breakdown is not None:
             if self.tier_breakdown is None:
                 self.tier_breakdown = {}
@@ -290,6 +315,18 @@ class RunResult:
             "erasure_replicas_dropped": self.erasure_replicas_dropped,
             "erasure_queued_scrubbed": self.erasure_queued_scrubbed,
             "spans_scrubbed": self.spans_scrubbed,
+            "txns": self.txns,
+            "txn_aborts": self.txn_aborts,
+            "txn_validation_retries": self.txn_validation_retries,
+            "txn_refetches": self.txn_refetches,
+            "txn_degraded": self.txn_degraded,
+            "txn_erase_conflicts": self.txn_erase_conflicts,
+            "txn_fractured_reads": self.txn_fractured_reads,
+            "txn_serialization_violations": (
+                self.txn_serialization_violations
+            ),
+            "txn_silent_downgrades": self.txn_silent_downgrades,
+            "txn_buffers_scrubbed": self.txn_buffers_scrubbed,
         }
         if len(self.plt):
             record["plt"] = {

@@ -33,12 +33,20 @@ from repro.storage import BackendSpec
 from repro.workload.catalog import Catalog
 from repro.workload.pages import PageBuilder
 from repro.workload.sitebuilder import build_ecommerce_site
+from repro.txn import (
+    ConsistencyLevel,
+    TxnConfig,
+    TxnCoordinator,
+    TxnRegistry,
+)
+from repro.coherence.txn import TxnConsistencyChecker
 from repro.workload.trace import (
     AccessUser,
     CartAdd,
     EraseUser,
     PageView,
     ProductUpdate,
+    TxnRead,
     WorkloadTrace,
 )
 from repro.workload.users import User, UserPopulation
@@ -315,6 +323,15 @@ class SimulationRunner:
         self.baseline_checker = DeltaAtomicityChecker(
             self.server, delta=float("inf")
         )
+        # Multi-key transaction machinery: the level every TxnRead
+        # event runs at, the ground-truth ladder checker, and the
+        # registry that makes in-flight buffers visible to erasure.
+        self._txn_level = ConsistencyLevel.parse(spec.consistency)
+        self.txn_checker = TxnConsistencyChecker(
+            self.server, metrics=self.metrics
+        )
+        self.txn_registry = TxnRegistry()
+        self._txn_coordinators: Dict[str, TxnCoordinator] = {}
         self._stacks: Dict[str, object] = {}
         # The erasure/access coordinator sees the whole assembled
         # stack; client caches are resolved lazily (stacks are built
@@ -330,6 +347,7 @@ class SimulationRunner:
             metrics=self.metrics,
             tracer=self.tracer,
             now_fn=lambda: self.env.now,
+            txn_registry=self.txn_registry,
         )
         self._engines: Dict[str, PageLoadEngine] = {}
         self._prefetchers: Dict[str, object] = {}
@@ -573,6 +591,8 @@ class SimulationRunner:
                 )
             elif isinstance(event, CartAdd):
                 self.env.process(self._handle_cart_add(event))
+            elif isinstance(event, TxnRead):
+                self.env.process(self._handle_txn(event))
             elif isinstance(event, EraseUser):
                 self.env.process(self._handle_erase(event))
             elif isinstance(event, AccessUser):
@@ -644,6 +664,82 @@ class SimulationRunner:
         yield from stack.fetch(request)
         self.tracer.finish(span, self.env.now)
         return None
+
+    def _txn_coordinator_for(self, user: User) -> TxnCoordinator:
+        coordinator = self._txn_coordinators.get(user.user_id)
+        if coordinator is None:
+            coordinator = TxnCoordinator(
+                self.env,
+                self._stack_for(user),
+                self.transport,
+                client_node=user.user_id,
+                user_id=user.user_id,
+                registry=self.txn_registry,
+                tracer=self.tracer,
+                config=TxnConfig(
+                    validation_retries=self.spec.txn_retry_limit
+                ),
+            )
+            self._txn_coordinators[user.user_id] = coordinator
+        return coordinator
+
+    def _handle_txn(self, event: TxnRead) -> Generator:
+        user = self.users.by_id(event.user_id)
+        stack = self._stack_for(user)
+        inner = getattr(stack, "inner", stack)
+        delta_covered = not self.spec.scenario.uses_speed_kit or (
+            isinstance(inner, ServiceWorkerProxy)
+        )
+        coordinator = self._txn_coordinator_for(user)
+        urls = [
+            URL.parse(f"/api/products/{product_id}")
+            for product_id in event.product_ids
+        ]
+        result = yield from coordinator.execute(urls, self._txn_level)
+        self._record_txn(user, result, delta_covered)
+        return None
+
+    def _record_txn(self, user: User, txn, delta_covered: bool) -> None:
+        result = self.result
+        result.txns += 1
+        result.txn_aborts += txn.aborts
+        result.txn_validation_retries += txn.validation_retries
+        result.txn_refetches += txn.refetches
+        if txn.degraded:
+            result.txn_degraded += 1
+            self.metrics.counter("txn.degraded").inc()
+        if txn.erase_conflict:
+            result.txn_erase_conflicts += 1
+            self.metrics.counter("txn.erase_conflicts").inc()
+        if txn.aborts:
+            self.metrics.counter("txn.aborts").inc(txn.aborts)
+        self.metrics.counter(f"txn.level.{txn.requested.value}").inc()
+        # Per-level latency sketches: the consistency-vs-PLT curve is a
+        # quantile query away, and shards merge exactly.
+        self.metrics.sketch(f"txn.plt.{txn.requested.value}").observe(
+            txn.plt
+        )
+        self.metrics.sketch("txn.aborts.per_txn").observe(float(txn.aborts))
+        for read in txn.reads:
+            self._record_response(
+                read.response,
+                delta_covered,
+                client=user.user_id,
+                read_at=read.read_at,
+            )
+        self.txn_checker.record_txn(
+            requested=txn.requested,
+            achieved=txn.achieved,
+            degraded=txn.degraded,
+            reads=tuple(
+                (read.version_key, read.version, read.read_at)
+                for read in txn.reads
+                if read.certifiable and read.response.status == Status.OK
+            ),
+            validated_at=txn.validated_at,
+            finished_at=txn.finished_at,
+            client=user.user_id,
+        )
 
     def _handle_erase(self, event: EraseUser) -> Generator:
         """Serve one Art. 17 request: walk, verify, charge the latency."""
@@ -735,6 +831,7 @@ class SimulationRunner:
         response,
         delta_covered: bool = True,
         client: Optional[str] = None,
+        read_at: Optional[float] = None,
     ) -> None:
         if response.status.is_server_error:
             self.result.failed_responses += 1
@@ -767,7 +864,11 @@ class SimulationRunner:
             return
         if "X-Version-Key" in response.headers:
             checker = self.checker if delta_covered else self.baseline_checker
-            checker.record_read(response, self.env.now, client=client)
+            checker.record_read(
+                response,
+                read_at if read_at is not None else self.env.now,
+                client=client,
+            )
 
     def _finalize(self) -> None:
         result = self.result
@@ -788,6 +889,14 @@ class SimulationRunner:
         result.max_staleness = self.checker.max_staleness()
         result.uncovered_max_staleness = self.baseline_checker.max_staleness()
         result.origin_requests = self.server.requests_served
+        result.txn_fractured_reads = self.txn_checker.fractured_count
+        result.txn_serialization_violations = (
+            self.txn_checker.serialization_violation_count
+        )
+        result.txn_silent_downgrades = (
+            self.txn_checker.silent_downgrade_count
+        )
+        result.txn_buffers_scrubbed = self.txn_registry.buffers_scrubbed
         for name, attr in (
             ("bytes.origin_egress", "origin_egress_bytes"),
             ("bytes.edge_egress", "edge_egress_bytes"),

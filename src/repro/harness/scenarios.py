@@ -100,6 +100,16 @@ class ScenarioSpec:
     #: Retry-with-backoff policy for origin exchanges; ``None`` keeps
     #: the historical single-attempt fail-fast behaviour.
     retry: Optional["RetryPolicy"] = None
+    #: Consistency level multi-key read transactions are executed at:
+    #: ``"delta"`` (per-key Δ-atomicity only), ``"snapshot"`` (version
+    #: cut certification with origin re-fetch of violators), or
+    #: ``"serializable"`` (adds an optimistic validation round trip).
+    #: Stored as the string form to avoid an import cycle; parsed by
+    #: the runner via :meth:`repro.txn.ConsistencyLevel.parse`.
+    consistency: str = "delta"
+    #: Serializable validation retries before an explicit, marked
+    #: degradation to snapshot.
+    txn_retry_limit: int = 3
     #: Record request-path spans (see :mod:`repro.obs`): every page
     #: view, worker decision, transport hop, edge lookup, and origin
     #: exchange gets a span with sim-clock timings and cache verdicts.

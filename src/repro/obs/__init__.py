@@ -30,6 +30,7 @@ from repro.obs.analysis import (
     reads_from_trace,
     response_attrs,
     tier_breakdown,
+    txns_from_trace,
 )
 from repro.obs.export import (
     dump_jsonl,
@@ -60,4 +61,5 @@ __all__ = [
     "response_attrs",
     "span_records",
     "tier_breakdown",
+    "txns_from_trace",
 ]

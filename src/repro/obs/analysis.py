@@ -28,6 +28,7 @@ __all__ = [
     "reads_from_trace",
     "response_attrs",
     "tier_breakdown",
+    "txns_from_trace",
 ]
 
 Record = Dict[str, Any]
@@ -142,6 +143,44 @@ def _read_from_attrs(
         "served_by": attrs.get("served_by"),
         "degraded": bool(attrs.get("degraded")),
     }
+
+
+def txns_from_trace(records: List[Record]) -> List[Dict[str, Any]]:
+    """Rebuild the transaction log purely from exported ``txn`` spans.
+
+    Each entry mirrors what :meth:`TxnConsistencyChecker.record_txn`
+    consumes live: requested/achieved levels, the degradation mark,
+    the certified read set (OK reads that carried version metadata),
+    the validation instant, and the finish time — enough to re-derive
+    the fractured-read and serialization verdicts offline.
+    """
+    txns: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("name") != "txn" or record.get("end") is None:
+            continue
+        attrs = record.get("attrs", {})
+        reads = [
+            (read["version_key"], read["version"], read["read_at"])
+            for read in attrs.get("reads", [])
+            if read.get("status") == 200
+            and read.get("version_key") is not None
+            and read.get("version") is not None
+            and read.get("born") is not None
+        ]
+        txns.append(
+            {
+                "requested": attrs.get("level"),
+                "achieved": attrs.get("achieved"),
+                "degraded": bool(attrs.get("degraded")),
+                "reads": reads,
+                "validated_at": attrs.get("validated_at"),
+                "finished_at": record["end"],
+                "client": attrs.get("user"),
+                "aborts": attrs.get("aborts", 0),
+                "erase_conflict": bool(attrs.get("erase_conflict")),
+            }
+        )
+    return txns
 
 
 def reads_from_trace(records: List[Record]) -> List[Dict[str, Any]]:

@@ -47,6 +47,9 @@ from repro.origin.versioning import ResourceVersions
 #: segment variant of a personalized resource.
 SEGMENT_PARAM = "sk_segment"
 
+#: Endpoint the optimistic transaction validation RPC is served on.
+TXN_VALIDATE_PATH = "/api/txn/validate"
+
 #: Signature of origin serve observers: (version_key, cache_key,
 #: response, now).
 ServeObserver = Callable[[str, str, "Response", float], None]
@@ -122,6 +125,7 @@ class OriginServer:
         self._query_resources: Dict[str, Query] = {}
         self.requests_served = 0
         self.writes_applied = 0
+        self.txn_validations = 0
         # Called with (version_key, cache_key, response, now) for every
         # successful response — the Cache Sketch backend listens here to
         # learn which copies exist and until when they stay fresh.
@@ -191,12 +195,62 @@ class OriginServer:
         """Serve one request at simulated time ``now``."""
         self.requests_served += 1
         if request.method is not Method.GET:
+            if request.url.path == TXN_VALIDATE_PATH:
+                return self._handle_txn_validate(request, now)
             return self._handle_write_request(request, now)
         matched = self.site.match(request.url)
         if matched is None:
             return self._error(Status.NOT_FOUND, request.url, now)
         spec, params = matched
         return self._render(spec, params, request, now)
+
+    def _handle_txn_validate(self, request: Request, now: float) -> Response:
+        """Optimistic validation for serializable read transactions.
+
+        The body carries ``{"keys": {version_key: version}}``; the reply
+        reports, against the ground-truth histories at instant ``now``,
+        which of those versions are no longer current.  A transaction
+        whose ``mismatched`` list is empty is serializable at
+        ``validated_at``: all its reads coexist at that origin instant.
+        """
+        keys = {}
+        if isinstance(request.body, Mapping):
+            candidate = request.body.get("keys")
+            if isinstance(candidate, Mapping):
+                keys = candidate
+        self.txn_validations += 1
+        current: Dict[str, Optional[int]] = {}
+        mismatched: List[str] = []
+        for version_key in sorted(keys):
+            version = keys[version_key]
+            try:
+                live = self.versions.current(version_key)
+            except KeyError:
+                live = None
+            current[version_key] = live
+            if live != version:
+                mismatched.append(version_key)
+        body = {
+            "validated_at": now,
+            "current": current,
+            "mismatched": mismatched,
+        }
+        # Small, deterministic wire size: the reply is a version vector,
+        # not a rendered resource.
+        size = 64 + 24 * len(keys)
+        return Response(
+            status=Status.OK,
+            headers=Headers(
+                {
+                    "Cache-Control": "no-store",
+                    "Content-Length": str(size),
+                }
+            ),
+            body=json.dumps(body),
+            url=request.url,
+            generated_at=now,
+            served_by="origin",
+        )
 
     def _handle_write_request(self, request: Request, now: float) -> Response:
         """``/api/documents/{collection}/{id}``: POST/PUT replace the
@@ -284,6 +338,9 @@ class OriginServer:
                 # Lets the coherence checker map any response copy back
                 # to its ground-truth version history.
                 "X-Version-Key": version_key,
+                # Birth instant of this exact version — snapshot-cut
+                # certification intersects these across a read set.
+                "X-Version-Born": str(self.versions.born_at(version_key, version)),
             }
         )
         response = Response(

@@ -113,6 +113,28 @@ class ResourceVersions:
             versions.insert(0, history[first][1])
         return versions
 
+    def born_at(self, resource_key: str, version: int) -> float:
+        """When ``version`` became current.
+
+        Versions advance by exactly one starting at 1, so the history
+        entry at index ``version - 1`` is the birth instant.
+        """
+        history = self._history[resource_key]
+        index = version - 1
+        if index < 0 or index >= len(history):
+            raise ValueError(
+                f"{resource_key!r} has no version {version} "
+                f"(history length {len(history)})"
+            )
+        born, recorded = history[index]
+        if recorded != version:
+            raise ValueError(
+                f"non-contiguous history for {resource_key!r}: "
+                f"expected version {version} at index {index}, "
+                f"found {recorded}"
+            )
+        return born
+
     def superseded_at(
         self, resource_key: str, version: int
     ) -> Optional[float]:

@@ -23,6 +23,7 @@ from repro.workload.trace import (
     CartAdd,
     EraseUser,
     PageView,
+    TxnRead,
     WorkloadTrace,
 )
 
@@ -70,7 +71,7 @@ def shard_trace(
         event
         for event in trace.events
         if not isinstance(
-            event, (PageView, CartAdd, EraseUser, AccessUser)
+            event, (PageView, CartAdd, TxnRead, EraseUser, AccessUser)
         )
         or event.user_id in members
     ]

@@ -28,6 +28,7 @@ from repro.workload.trace import (
     PageView,
     ProductUpdate,
     TraceEvent,
+    TxnRead,
     WorkloadTrace,
 )
 from repro.workload.flashsale import FlashSaleConfig, make_flash_sale_trace
@@ -47,6 +48,7 @@ __all__ = [
     "PageView",
     "ProductUpdate",
     "TraceEvent",
+    "TxnRead",
     "User",
     "UserPopulation",
     "UserPopulationConfig",

@@ -13,6 +13,7 @@ from repro.workload.trace import (
     EraseUser,
     PageView,
     ProductUpdate,
+    TxnRead,
     WorkloadTrace,
 )
 from repro.workload.users import UserPopulation
@@ -40,6 +41,15 @@ class WorkloadConfig:
     nav_category: float = 0.35
     nav_product: float = 0.55
     nav_home: float = 0.10
+    #: Probability that a page view is followed by a multi-key read
+    #: transaction (cart + profile + recommendations-style API reads).
+    #: 0 disables transactions entirely — and draws no RNG for them,
+    #: keeping existing traces bit-identical.
+    txn_mix: float = 0.0
+    #: Keys per transaction (distinct products read together).
+    txn_keys: int = 3
+    #: Zipf exponent for which products a transaction reads.
+    txn_zipf_s: float = 0.7
     #: GDPRbench-style mix: fraction of active logged-in users who file
     #: an Art. 17 erasure request after their last activity (account
     #: deletion — the user leaves, then asks to be forgotten).
@@ -49,6 +59,14 @@ class WorkloadConfig:
     access_rate: float = 0.0
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.txn_mix <= 1.0:
+            raise ValueError(f"txn_mix must be in [0, 1]: {self.txn_mix}")
+        if self.txn_keys < 1:
+            raise ValueError(f"txn_keys must be >= 1: {self.txn_keys}")
+        if self.txn_zipf_s < 0:
+            raise ValueError(
+                f"txn_zipf_s must be >= 0: {self.txn_zipf_s}"
+            )
         if not 0.0 <= self.erase_fraction <= 1.0:
             raise ValueError(
                 f"erase_fraction must be in [0, 1]: {self.erase_fraction}"
@@ -80,6 +98,7 @@ class WorkloadGenerator:
         self.catalog = catalog
         self.users = users
         self.config = config or WorkloadConfig()
+        self._txn_weights: Optional[List[float]] = None
 
     def generate(self, rng: random.Random) -> WorkloadTrace:
         """Produce one complete trace."""
@@ -140,9 +159,37 @@ class WorkloadGenerator:
                             product_id=target,
                         )
                     )
+            if config.txn_mix > 0 and rng.random() < config.txn_mix:
+                txn_at = now + rng.expovariate(1.0 / 2.0)
+                if txn_at < config.duration:
+                    events.append(
+                        TxnRead(
+                            at=txn_at,
+                            user_id=user.user_id,
+                            product_ids=self._txn_key_set(rng),
+                        )
+                    )
             page_kind, target = self._next_page(page_kind, target, rng)
             now += rng.expovariate(1.0 / config.think_time_mean)
         return events
+
+    def _txn_key_set(self, rng: random.Random) -> tuple:
+        """Distinct Zipf-skewed product ids for one transaction."""
+        products = self.catalog.products
+        count = min(self.config.txn_keys, len(products))
+        if self._txn_weights is None:
+            s = self.config.txn_zipf_s
+            self._txn_weights = [
+                1.0 / (rank**s) for rank in range(1, len(products) + 1)
+            ]
+        chosen: List[str] = []
+        seen: set = set()
+        while len(chosen) < count:
+            product = rng.choices(products, weights=self._txn_weights, k=1)[0]
+            if product.product_id not in seen:
+                seen.add(product.product_id)
+                chosen.append(product.product_id)
+        return tuple(chosen)
 
     def _next_page(self, kind: str, target: str, rng: random.Random):
         config = self.config

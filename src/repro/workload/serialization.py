@@ -19,6 +19,7 @@ from repro.workload.trace import (
     PageView,
     ProductUpdate,
     TraceEvent,
+    TxnRead,
     WorkloadTrace,
 )
 
@@ -28,6 +29,7 @@ _KINDS = {
     "page_view": PageView,
     "product_update": ProductUpdate,
     "cart_add": CartAdd,
+    "txn_read": TxnRead,
     "erase_user": EraseUser,
     "access_user": AccessUser,
 }
@@ -55,6 +57,13 @@ def _event_to_record(event: TraceEvent) -> dict:
             "at": event.at,
             "user_id": event.user_id,
             "product_id": event.product_id,
+        }
+    if isinstance(event, TxnRead):
+        return {
+            "kind": "txn_read",
+            "at": event.at,
+            "user_id": event.user_id,
+            "product_ids": list(event.product_ids),
         }
     if isinstance(event, EraseUser):
         return {
@@ -93,6 +102,12 @@ def _record_to_event(record: dict) -> TraceEvent:
             at=record["at"],
             user_id=record["user_id"],
             product_id=record["product_id"],
+        )
+    if kind == "txn_read":
+        return TxnRead(
+            at=record["at"],
+            user_id=record["user_id"],
+            product_ids=tuple(record["product_ids"]),
         )
     if kind == "erase_user":
         return EraseUser(at=record["at"], user_id=record["user_id"])

@@ -50,6 +50,14 @@ class CartAdd(TraceEvent):
 
 
 @dataclass(frozen=True)
+class TxnRead(TraceEvent):
+    """A multi-key read transaction over a set of product APIs."""
+
+    user_id: str = ""
+    product_ids: tuple = ()  # product ids read together, hashable
+
+
+@dataclass(frozen=True)
 class EraseUser(TraceEvent):
     """A GDPR Art. 17 request: erase this user's data everywhere."""
 
@@ -88,6 +96,9 @@ class WorkloadTrace:
     def cart_adds(self) -> List[CartAdd]:
         return [e for e in self.events if isinstance(e, CartAdd)]
 
+    def txn_reads(self) -> List["TxnRead"]:
+        return [e for e in self.events if isinstance(e, TxnRead)]
+
     def erasures(self) -> List["EraseUser"]:
         return [e for e in self.events if isinstance(e, EraseUser)]
 
@@ -98,7 +109,9 @@ class WorkloadTrace:
         seen = {
             event.user_id
             for event in self.events
-            if isinstance(event, (PageView, CartAdd, EraseUser, AccessUser))
+            if isinstance(
+                event, (PageView, CartAdd, TxnRead, EraseUser, AccessUser)
+            )
         }
         return sorted(seen)
 

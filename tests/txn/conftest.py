@@ -1,0 +1,96 @@
+"""Shared fixtures for the multi-key transaction suite.
+
+One small deterministic workload with a transaction mix, replayed
+through the full Speed Kit stack once per consistency level. Runs are
+cached so the unit, fault-path, and accounting tests all interrogate
+the same replays. ``drive`` resumes a finished runner's event loop to
+execute hand-built transactions against its live stack — the erase-race
+and degradation tests use it to control interleavings exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.harness import Scenario, ScenarioSpec, SimulationRunner
+from repro.workload import (
+    CatalogConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_catalog,
+    generate_users,
+)
+
+SEED = 13
+
+LEVELS = ("delta", "snapshot", "serializable")
+
+_RUNNERS = {}
+
+
+def txn_workload(seed=SEED, txn_mix=0.4, duration=600.0):
+    catalog = generate_catalog(
+        CatalogConfig(n_products=25), random.Random(seed)
+    )
+    users = generate_users(
+        UserPopulationConfig(n_users=10, consent_fraction=1.0),
+        random.Random(seed + 1),
+    )
+    config = WorkloadConfig(
+        duration=duration,
+        session_rate=0.1,
+        mean_session_length=4.0,
+        think_time_mean=8.0,
+        write_rate=0.1,
+        txn_mix=txn_mix,
+    )
+    trace = WorkloadGenerator(catalog, users, config).generate(
+        random.Random(seed + 2)
+    )
+    return catalog, users, trace
+
+
+def level_runner(level, seed=SEED, **spec_kwargs):
+    """The (cached) live runner of one txn replay at ``level``."""
+    key = (
+        level,
+        seed,
+        tuple(sorted((k, repr(v)) for k, v in spec_kwargs.items())),
+    )
+    cached = _RUNNERS.get(key)
+    if cached is None:
+        catalog, users, trace = txn_workload(seed)
+        spec = ScenarioSpec(
+            scenario=Scenario.SPEED_KIT,
+            delta=30.0,
+            seed=seed,
+            consistency=level,
+            **spec_kwargs,
+        )
+        cached = SimulationRunner(spec, catalog, users, trace)
+        cached.run()
+        _RUNNERS[key] = cached
+    return cached
+
+
+def drive(runner, generator_fn):
+    """Run one generator process on a finished runner's sim kernel."""
+    out = {}
+
+    def wrapper():
+        out["value"] = yield from generator_fn()
+
+    runner.env.process(wrapper())
+    runner.env.run()
+    return out["value"]
+
+
+@pytest.fixture(params=LEVELS)
+def level(request):
+    return request.param
+
+
+@pytest.fixture
+def runner(level):
+    return level_runner(level)

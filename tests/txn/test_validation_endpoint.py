@@ -1,0 +1,125 @@
+"""The origin's optimistic validation RPC and its transport client."""
+
+import json
+
+import pytest
+
+from repro.http import Headers, Method, Request, Status, URL
+from repro.origin.server import TXN_VALIDATE_PATH
+
+from tests.txn.conftest import drive, level_runner
+
+pytestmark = pytest.mark.txn
+
+
+def _validate(server, keys, now):
+    request = Request(
+        method=Method.POST,
+        url=URL.parse(TXN_VALIDATE_PATH),
+        headers=Headers({"Cache-Control": "no-store"}),
+        body={"keys": keys},
+    )
+    return server.handle(request, now=now)
+
+
+def _some_versioned_key(server):
+    for key in server.versions.known_resources():
+        if key.startswith("/api/products/"):
+            return key
+    return server.versions.known_resources()[0]
+
+
+class TestOriginEndpoint:
+    def test_current_versions_validate(self):
+        server = level_runner("delta").server
+        key = _some_versioned_key(server)
+        response = _validate(
+            server, {key: server.versions.current(key)}, now=1000.0
+        )
+        assert response.status == Status.OK
+        verdict = json.loads(response.body)
+        assert verdict["mismatched"] == []
+        assert verdict["validated_at"] == 1000.0
+
+    def test_stale_version_is_mismatched(self):
+        server = level_runner("delta").server
+        key = _some_versioned_key(server)
+        live = server.versions.current(key)
+        verdict = json.loads(
+            _validate(server, {key: live + 1}, now=1000.0).body
+        )
+        assert verdict["mismatched"] == [key]
+        assert verdict["current"][key] == live
+
+    def test_unknown_key_is_mismatched_not_an_error(self):
+        server = level_runner("delta").server
+        response = _validate(server, {"/api/products/nope": 1}, now=5.0)
+        assert response.status == Status.OK
+        verdict = json.loads(response.body)
+        assert verdict["mismatched"] == ["/api/products/nope"]
+        assert verdict["current"]["/api/products/nope"] is None
+
+    def test_reply_is_uncacheable(self):
+        server = level_runner("delta").server
+        response = _validate(server, {}, now=0.0)
+        assert response.headers.get("Cache-Control") == "no-store"
+
+    def test_malformed_body_validates_nothing(self):
+        server = level_runner("delta").server
+        request = Request(
+            method=Method.POST,
+            url=URL.parse(TXN_VALIDATE_PATH),
+            headers=Headers({}),
+            body="not-a-mapping",
+        )
+        verdict = json.loads(server.handle(request, now=0.0).body)
+        assert verdict["mismatched"] == []
+        assert verdict["current"] == {}
+
+    def test_validations_are_counted(self):
+        runner = level_runner("serializable")
+        assert runner.server.txn_validations > 0
+
+
+class TestTransportClient:
+    def test_verdict_round_trips_through_the_transport(self):
+        runner = level_runner("delta")
+        server = runner.server
+        key = _some_versioned_key(server)
+        vector = {key: server.versions.current(key)}
+
+        verdict = drive(
+            runner,
+            lambda: runner.transport.validate_txn("u0", vector),
+        )
+        assert verdict is not None
+        assert verdict["mismatched"] == []
+        assert verdict["validated_at"] == pytest.approx(
+            runner.env.now, abs=1.0
+        )
+
+    def test_mismatch_survives_the_wire(self):
+        runner = level_runner("delta")
+        server = runner.server
+        key = _some_versioned_key(server)
+        vector = {key: server.versions.current(key) + 7}
+        verdict = drive(
+            runner,
+            lambda: runner.transport.validate_txn("u0", vector),
+        )
+        assert verdict["mismatched"] == [key]
+
+    def test_validation_rpc_costs_simulated_time(self):
+        runner = level_runner("delta")
+        server = runner.server
+        key = _some_versioned_key(server)
+        before = runner.env.now
+
+        def exchange():
+            result = yield from runner.transport.validate_txn(
+                "u0", {key: server.versions.current(key)}
+            )
+            return result
+
+        drive(runner, exchange)
+        assert runner.env.now > before
