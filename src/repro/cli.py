@@ -8,6 +8,9 @@ Examples::
     python -m repro sweep-segments --segments 1,3,9,27
     python -m repro gen-trace --out trace.jsonl
     python -m repro run --scenario classic-cdn --replay trace.jsonl
+    python -m repro run --scenario speed-kit --record trace.jsonl
+    python -m repro run --replay trace.jsonl --replay-rate 10
+    python -m repro run --import-log access.csv --record imported.jsonl
     python -m repro run --scenario speed-kit --trace spans.jsonl
 """
 
@@ -16,6 +19,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.harness import (
@@ -34,10 +38,12 @@ from repro.workload import (
     WorkloadConfig,
     WorkloadGenerator,
     WorkloadTrace,
+    WorldSpec,
     dump_trace,
-    generate_catalog,
-    generate_users,
+    import_access_log,
     load_trace,
+    rescale_trace,
+    validate_trace_world,
 )
 
 
@@ -59,7 +65,43 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         "--quick", action="store_true", help="15-minute workload"
     )
     parser.add_argument(
-        "--replay", default=None, help="replay a saved workload trace"
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="replay a saved workload trace; a v2 trace rebuilds the "
+        "exact recorded world (catalog/users/seeds) from its header, "
+        "ignoring --seed/--users/--products",
+    )
+    parser.add_argument(
+        "--replay-rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="time-compress the trace by R× (timestamps divide by R; "
+        "the Δ bound, TTLs and purge-pipeline accounting compress "
+        "identically), so multi-hour traces replay in minutes",
+    )
+    parser.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="dump the trace actually replayed (generated or "
+        "imported) as a self-contained v2 trace file for later "
+        "--replay",
+    )
+    parser.add_argument(
+        "--import-log",
+        default=None,
+        metavar="PATH",
+        help="ingest a foreign web access log (CSV or JSONL records: "
+        "timestamp, client, url, method) as the workload; clients and "
+        "URLs map deterministically onto the generated world",
+    )
+    parser.add_argument(
+        "--import-format",
+        default="auto",
+        choices=["auto", "csv", "jsonl"],
+        help="access-log format for --import-log (default: sniff)",
     )
     parser.add_argument(
         "--shards",
@@ -259,17 +301,72 @@ def _txn_kwargs(args) -> dict:
     return kwargs
 
 
+def _world_spec_from_args(args) -> WorldSpec:
+    """The world the CLI flags describe (catalog/users/seeds)."""
+    return WorldSpec(
+        catalog=CatalogConfig(n_products=args.products),
+        users=UserPopulationConfig(n_users=args.users),
+        seed=args.seed,
+        catalog_seed=args.seed,
+        users_seed=args.seed + 1,
+    )
+
+
+def _time_kwargs(args) -> dict:
+    """ScenarioSpec kwargs for --replay-rate time compression."""
+    rate = getattr(args, "replay_rate", None)
+    if rate is None or rate == 1.0:
+        return {}
+    return {"time_scale": 1.0 / rate}
+
+
 def _build_workload(args):
-    catalog = generate_catalog(
-        CatalogConfig(n_products=args.products), random.Random(args.seed)
-    )
-    users = generate_users(
-        UserPopulationConfig(n_users=args.users),
-        random.Random(args.seed + 1),
-    )
-    if args.replay:
-        trace = load_trace(args.replay)
+    """The (catalog, users, trace) triple one command runs against.
+
+    Replaying a v2 trace rebuilds the *recorded* world from the trace
+    header — the replay-time ``--seed/--users/--products`` flags are
+    irrelevant, so every cross-configuration comparison sees identical
+    traffic against identical state. A v1 trace (no embedded world)
+    falls back to the flag-built world, strictly validated against
+    every event reference: a mismatch aborts loudly instead of
+    replaying foreign users/products against the wrong world.
+    """
+    rate = getattr(args, "replay_rate", None)
+    if rate is None:
+        rate = 1.0
+    if rate <= 0:
+        raise SystemExit(f"--replay-rate must be positive: {rate}")
+    replay = getattr(args, "replay", None)
+    import_log = getattr(args, "import_log", None)
+    if replay and import_log:
+        raise SystemExit("--replay and --import-log are mutually exclusive")
+    if replay:
+        trace = load_trace(replay)
+        if trace.world is not None:
+            catalog, users = trace.world.build()
+            # Restore the recording run's root seed so seed-keyed
+            # machinery outside the world (storage-backend salts,
+            # fault streams) matches the recording run too.
+            args.seed = trace.world.seed
+        else:
+            catalog, users = _world_spec_from_args(args).build()
+            try:
+                validate_trace_world(trace, catalog, users)
+            except ValueError as err:
+                raise SystemExit(f"cannot replay {replay}: {err}")
+    elif import_log:
+        world = _world_spec_from_args(args)
+        catalog, users = world.build()
+        trace = import_access_log(
+            import_log,
+            catalog,
+            users,
+            fmt=args.import_format,
+            world=world,
+        )
     else:
+        world = _world_spec_from_args(args)
+        catalog, users = world.build()
         duration = 900.0 if args.quick else args.duration
         gdpr_mix = getattr(args, "gdpr_mix", None) or 0.0
         txn_kwargs = {}
@@ -287,6 +384,17 @@ def _build_workload(args):
         )
         trace = WorkloadGenerator(catalog, users, config).generate(
             random.Random(args.seed + 2)
+        )
+        trace.world = replace(
+            world, generator={"seed": args.seed + 2, **config.to_dict()}
+        )
+    if rate != 1.0:
+        trace = rescale_trace(trace, rate)
+    record = getattr(args, "record", None)
+    if record:
+        dump_trace(trace, record)
+        print(
+            f"recorded {len(trace)} events to {record}", file=sys.stderr
         )
     return catalog, users, trace
 
@@ -328,6 +436,7 @@ def cmd_run(args) -> int:
         **_replication_kwargs(args),
         **_fault_kwargs(args),
         **_txn_kwargs(args),
+        **_time_kwargs(args),
     )
     result = _run(spec, workload, args)
     if args.json:
@@ -399,6 +508,7 @@ def cmd_compare(args) -> int:
                     **_replication_kwargs(args),
                     **_fault_kwargs(args),
                     **_txn_kwargs(args),
+                    **_time_kwargs(args),
                 ),
                 workload,
                 args,
@@ -439,6 +549,7 @@ def cmd_sweep_delta(args) -> int:
                 **_replication_kwargs(args),
                 **_fault_kwargs(args),
                 **_txn_kwargs(args),
+                **_time_kwargs(args),
             ),
             workload,
             args,
@@ -471,6 +582,7 @@ def cmd_sweep_segments(args) -> int:
                 **_replication_kwargs(args),
                 **_fault_kwargs(args),
                 **_txn_kwargs(args),
+                **_time_kwargs(args),
             ),
             workload,
             args,
@@ -506,6 +618,7 @@ def cmd_report(args) -> int:
                     **_replication_kwargs(args),
                     **_fault_kwargs(args),
                     **_txn_kwargs(args),
+                    **_time_kwargs(args),
                 ),
                 workload,
                 args,
@@ -560,6 +673,7 @@ def cmd_erase(args) -> int:
         **_replication_kwargs(args),
         **_fault_kwargs(args),
         **_txn_kwargs(args),
+        **_time_kwargs(args),
     )
     result = _run(spec, (catalog, users, trace), args)
     if args.json:

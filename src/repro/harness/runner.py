@@ -75,7 +75,11 @@ class SimulationRunner:
         to the e-commerce shop; pass alternatives to replay the same
         trace format against a different site (e.g. the media site in
         :mod:`repro.workload.mediasite`)."""
-        self.spec = spec
+        # Rate-scaled replay: fold the spec's time-compression factor
+        # into its wall-time-gap knobs (Δ, TTLs, purge pipeline, …) so
+        # the Δ-bound accounting matches the compressed trace; see
+        # ScenarioSpec.time_scaled for what scales and what does not.
+        self.spec = spec.time_scaled()
         self.catalog = catalog
         self.users = users
         self.trace = trace

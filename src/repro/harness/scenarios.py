@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.storage import BackendSpec
@@ -110,6 +110,12 @@ class ScenarioSpec:
     #: Serializable validation retries before an explicit, marked
     #: degradation to snapshot.
     txn_retry_limit: int = 3
+    #: Time-compression factor carried by a rate-scaled replay
+    #: (``--replay-rate R`` sets this to ``1/R`` after dividing every
+    #: trace timestamp by ``R``). The runner folds it into the
+    #: wall-time-gap knobs via :meth:`time_scaled` so the compressed
+    #: replay reproduces the original cache dynamics.
+    time_scale: float = 1.0
     #: Record request-path spans (see :mod:`repro.obs`): every page
     #: view, worker decision, transport hop, edge lookup, and origin
     #: exchange gets a span with sim-clock timings and cache verdicts.
@@ -120,3 +126,41 @@ class ScenarioSpec:
     @property
     def name(self) -> str:
         return self.label or self.scenario.value
+
+    def time_scaled(self) -> "ScenarioSpec":
+        """Fold ``time_scale`` into the wall-time-gap knobs.
+
+        A trace compressed by rate ``R`` (timestamps divided by ``R``)
+        only reproduces the recorded cache dynamics if everything
+        measured *against* wall-time gaps compresses identically: the
+        Δ/sketch-refresh interval, page TTLs, the invalidation
+        pipeline's detection/purge latencies, the stale-if-error grace
+        window, and any configured outage window. Infrastructure
+        latencies — network transit, PoP replication delay, write-
+        behind flush cadence, retry budgets — model how fast the
+        *system* is, not how fast the recorded timeline plays, so they
+        stay unscaled (the checker's in-flight slack covers them).
+        """
+        ts = self.time_scale
+        if ts == 1.0:
+            return self
+        if ts <= 0:
+            raise ValueError(f"time_scale must be positive: {ts}")
+        return replace(
+            self,
+            delta=self.delta * ts,
+            page_ttl=self.page_ttl * ts,
+            detection_latency=self.detection_latency * ts,
+            purge_latency=self.purge_latency * ts,
+            stale_if_error=(
+                None
+                if self.stale_if_error is None
+                else self.stale_if_error * ts
+            ),
+            outage=(
+                None
+                if self.outage is None
+                else tuple(instant * ts for instant in self.outage)
+            ),
+            time_scale=1.0,
+        )

@@ -65,6 +65,12 @@ def shard_trace(
     shard's origin applies the full write stream. Event order (and
     therefore each event's timestamp) is preserved, so a shard's
     kernel replays a strictly time-ordered sub-trace.
+
+    The routing contract is purely ``user_id``-based, so imported
+    traces (whose users were mapped from foreign client ids by
+    :mod:`repro.workload.ingest`) shard exactly like generated ones;
+    the trace's attached world rides along on every slice so a shard
+    is as self-describing as the whole.
     """
     members = set(owned)
     events = [
@@ -75,4 +81,6 @@ def shard_trace(
         )
         or event.user_id in members
     ]
-    return WorkloadTrace(events=events, duration=trace.duration)
+    return WorkloadTrace(
+        events=events, duration=trace.duration, world=trace.world
+    )

@@ -35,6 +35,12 @@ from repro.workload.flashsale import FlashSaleConfig, make_flash_sale_trace
 from repro.workload.mediasite import MediaPageBuilder, build_media_site
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 from repro.workload.serialization import dump_trace, load_trace
+from repro.workload.world import WorldSpec
+from repro.workload.ingest import (
+    import_access_log,
+    rescale_trace,
+    validate_trace_world,
+)
 
 __all__ = [
     "AccessUser",
@@ -55,11 +61,15 @@ __all__ = [
     "WorkloadConfig",
     "WorkloadGenerator",
     "WorkloadTrace",
+    "WorldSpec",
     "build_ecommerce_site",
     "build_media_site",
     "dump_trace",
     "generate_catalog",
     "generate_users",
+    "import_access_log",
     "load_trace",
     "make_flash_sale_trace",
+    "rescale_trace",
+    "validate_trace_world",
 ]

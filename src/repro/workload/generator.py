@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import List, Optional
 
 from repro.workload.catalog import Catalog
@@ -84,6 +84,15 @@ class WorkloadConfig:
         nav_total = self.nav_category + self.nav_product + self.nav_home
         if abs(nav_total - 1.0) > 1e-6:
             raise ValueError(f"navigation mix sums to {nav_total}")
+
+    def to_dict(self) -> dict:
+        """Plain JSON data for trace-header provenance (v2 format)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class WorkloadGenerator:

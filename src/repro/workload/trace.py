@@ -10,7 +10,10 @@ same instants, with the same background writes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.workload.world import WorldSpec
 
 
 @dataclass(frozen=True)
@@ -73,10 +76,20 @@ class AccessUser(TraceEvent):
 
 @dataclass
 class WorkloadTrace:
-    """A complete, time-ordered workload."""
+    """A complete, time-ordered workload.
+
+    ``world`` is the recipe for the catalog/user population the events
+    reference (see :class:`repro.workload.world.WorldSpec`); traces
+    carrying one are self-contained — replay rebuilds the recorded
+    world instead of trusting replay-time flags. ``None`` means the
+    world is unknown (a v1 trace file, or a hand-built trace), and
+    replay must validate event references against whatever world it
+    builds.
+    """
 
     events: List[TraceEvent] = field(default_factory=list)
     duration: float = 0.0
+    world: Optional["WorldSpec"] = None
 
     def __len__(self) -> int:
         return len(self.events)
@@ -116,10 +129,17 @@ class WorkloadTrace:
         return sorted(seen)
 
     def validate(self) -> None:
-        """Check trace invariants (ordering, bounds)."""
-        last = 0.0
+        """Check trace invariants (ordering, bounds).
+
+        Events may legitimately start before t=0 (rate-rescaled or
+        imported traces), so ordering is checked between consecutive
+        events only — there is no implicit t=0 floor.
+        """
+        if self.duration < 0:
+            raise ValueError(f"negative duration {self.duration}")
+        last: Optional[float] = None
         for event in self.events:
-            if event.at < last:
+            if last is not None and event.at < last:
                 raise ValueError(
                     f"trace not time-ordered at t={event.at} (prev {last})"
                 )

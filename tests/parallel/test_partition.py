@@ -80,3 +80,21 @@ def test_shard_trace_preserves_event_order(workload):
     (owned,) = partition_users(sorted(trace.users_seen()), 1)
     sliced = shard_trace(trace, owned)
     assert sliced.events == list(trace.events)
+
+
+def test_shard_trace_carries_the_world(workload):
+    from repro.workload import CatalogConfig, UserPopulationConfig, WorldSpec
+
+    _, _, trace = workload
+    trace.world = WorldSpec(
+        catalog=CatalogConfig(n_products=20),
+        users=UserPopulationConfig(n_users=10),
+        seed=5,
+    )
+    try:
+        for owned in partition_users(sorted(trace.users_seen()), 3):
+            sliced = shard_trace(trace, owned)
+            assert sliced.world is trace.world
+            assert sliced.duration == trace.duration
+    finally:
+        trace.world = None  # module-scoped fixture: leave it clean

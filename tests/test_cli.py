@@ -226,6 +226,212 @@ def test_gdpr_mix_rejects_bad_fraction():
         main(["run", "--gdpr-mix", "1.5"] + QUICK)
 
 
+def test_record_then_replay_is_flag_independent(tmp_path, capsys):
+    """The lead bugfix: a v2 recording replays identically no matter
+    what --seed/--users/--products the replay command line carries."""
+    import json
+
+    trace_path = tmp_path / "recorded.jsonl"
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    record_flags = [
+        "--seed", "5", "--users", "12", "--products", "30",
+        "--session-rate", "0.05", "--quick",
+    ]
+    assert main(
+        [
+            "run", "--scenario", "speed-kit", "--record", str(trace_path),
+            "--json", str(first),
+        ]
+        + record_flags
+    ) == 0
+    capsys.readouterr()
+    # Deliberately mismatched world flags: the embedded world must win.
+    assert main(
+        [
+            "run", "--scenario", "speed-kit", "--replay", str(trace_path),
+            "--seed", "99", "--users", "3", "--products", "7",
+            "--json", str(second),
+        ]
+    ) == 0
+    capsys.readouterr()
+    a = json.loads(first.read_text())
+    b = json.loads(second.read_text())
+    a.pop("wall_seconds", None), b.pop("wall_seconds", None)
+    assert a == b
+
+
+def test_sharded_replay_is_flag_independent(tmp_path, capsys):
+    """Sharded replay of a v2 recording is just as flag-independent as
+    serial replay: two --shards 2 replays with wildly different
+    --seed/--users/--products agree byte-for-byte, and both agree with
+    the serial recording on every workload-exact invariant (hit-ratio
+    parity between serial and sharded is out of scope — sharding
+    changes cross-user cache warming by design)."""
+    import json
+
+    trace_path = tmp_path / "recorded.jsonl"
+    serial_out = tmp_path / "serial.json"
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    assert main(
+        [
+            "run", "--scenario", "speed-kit", "--record", str(trace_path),
+            "--json", str(serial_out), "--seed", "5",
+        ]
+        + QUICK
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        [
+            "run", "--scenario", "speed-kit", "--replay", str(trace_path),
+            "--shards", "2", "--json", str(first), "--seed", "5",
+        ]
+        + QUICK
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        [
+            "run", "--scenario", "speed-kit", "--replay", str(trace_path),
+            "--shards", "2", "--json", str(second),
+            "--seed", "99", "--users", "3", "--products", "7",
+        ]
+    ) == 0
+    capsys.readouterr()
+    serial = json.loads(serial_out.read_text())
+    a = json.loads(first.read_text())
+    b = json.loads(second.read_text())
+    for record in (serial, a, b):
+        record.pop("wall_seconds", None)
+    assert a == b
+    assert a["page_views"] == serial["page_views"]
+    assert a["delta_violations"] == serial["delta_violations"] == 0
+    assert a["reads_checked"] == serial["reads_checked"]
+    assert a["erasure_residuals"] == serial["erasure_residuals"] == 0
+
+
+def test_v1_replay_against_mismatched_world_fails_actionably(
+    tmp_path, capsys
+):
+    import io
+    import json as jsonlib
+
+    from repro.workload import dump_trace, load_trace
+
+    trace_path = tmp_path / "v1.jsonl"
+    assert main(
+        ["gen-trace", "--out", str(trace_path), "--seed", "5"] + QUICK
+    ) == 0
+    capsys.readouterr()
+    # Strip the trace down to format v1: no embedded world.
+    trace = load_trace(trace_path)
+    buffer = io.StringIO()
+    trace.world = None
+    dump_trace(trace, buffer)
+    lines = buffer.getvalue().splitlines(keepends=True)
+    header = jsonlib.loads(lines[0])
+    header["version"] = 1
+    trace_path.write_text(
+        jsonlib.dumps(header) + "\n" + "".join(lines[1:])
+    )
+    with pytest.raises(SystemExit) as err:
+        main(
+            [
+                "run", "--scenario", "speed-kit",
+                "--replay", str(trace_path),
+                "--seed", "99", "--users", "2", "--products", "5",
+            ]
+        )
+    message = str(err.value)
+    assert "cannot replay" in message
+    assert "--record" in message  # actionable: how to fix it
+    assert "KeyError" not in message
+
+
+def test_v1_replay_with_matching_flags_still_works(tmp_path, capsys):
+    import json as jsonlib
+
+    trace_path = tmp_path / "v1.jsonl"
+    assert main(
+        ["gen-trace", "--out", str(trace_path), "--seed", "5"] + QUICK
+    ) == 0
+    lines = trace_path.read_text().splitlines(keepends=True)
+    header = jsonlib.loads(lines[0])
+    header["version"] = 1
+    header.pop("world", None)
+    trace_path.write_text(
+        jsonlib.dumps(header) + "\n" + "".join(lines[1:])
+    )
+    capsys.readouterr()
+    code = main(
+        [
+            "run", "--scenario", "speed-kit",
+            "--replay", str(trace_path), "--seed", "5",
+        ]
+        + QUICK
+    )
+    assert code == 0
+    assert "Run summary" in capsys.readouterr().out
+
+
+def test_import_log_smoke(tmp_path, capsys):
+    from pathlib import Path
+
+    fixture = str(
+        Path(__file__).parent
+        / "workload"
+        / "fixtures"
+        / "sample_access_log.csv"
+    )
+    code = main(
+        [
+            "run", "--scenario", "speed-kit", "--import-log", fixture,
+            "--users", "10", "--products", "20", "--seed", "3",
+        ]
+    )
+    assert code == 0
+    assert "Run summary" in capsys.readouterr().out
+
+
+def test_replay_rate_smoke(tmp_path, capsys):
+    trace_path = tmp_path / "recorded.jsonl"
+    assert main(
+        [
+            "run", "--scenario", "speed-kit", "--record", str(trace_path),
+            "--seed", "5",
+        ]
+        + QUICK
+    ) == 0
+    capsys.readouterr()
+    code = main(
+        [
+            "run", "--scenario", "speed-kit", "--replay", str(trace_path),
+            "--replay-rate", "2",
+        ]
+    )
+    assert code == 0
+    assert "Run summary" in capsys.readouterr().out
+
+
+def test_replay_rate_rejects_nonpositive(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            ["run", "--replay-rate", "0", "--scenario", "speed-kit"]
+            + QUICK
+        )
+
+
+def test_replay_and_import_log_are_mutually_exclusive(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run", "--replay", "a.jsonl", "--import-log", "b.csv",
+                "--scenario", "speed-kit",
+            ]
+            + QUICK
+        )
+
+
 def test_requires_a_command():
     with pytest.raises(SystemExit):
         main([])

@@ -11,11 +11,13 @@ from repro.workload import (
     UserPopulationConfig,
     WorkloadConfig,
     WorkloadGenerator,
+    WorldSpec,
     dump_trace,
     generate_catalog,
     generate_users,
     load_trace,
 )
+from repro.workload.serialization import FORMAT_VERSION
 from repro.workload.trace import CartAdd, PageView, ProductUpdate, WorkloadTrace
 
 
@@ -85,6 +87,116 @@ def test_truncated_trace_rejected(trace):
     lines = buffer.getvalue().splitlines()
     truncated = io.StringIO("\n".join(lines[:-3]) + "\n")
     with pytest.raises(ValueError, match="truncated"):
+        load_trace(truncated)
+
+
+def test_v2_header_embeds_world_and_round_trips(trace):
+    world = WorldSpec(
+        catalog=CatalogConfig(n_products=20),
+        users=UserPopulationConfig(n_users=10),
+        seed=7,
+        catalog_seed=7,
+        users_seed=8,
+    )
+    trace.world = world
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    buffer.seek(0)
+    header = json.loads(buffer.readline())
+    assert header["version"] == FORMAT_VERSION == 2
+    assert header["world"]["seed"] == 7
+    buffer.seek(0)
+    restored = load_trace(buffer)
+    assert restored.world == world
+    assert restored.events == trace.events
+
+
+def test_v1_trace_loads_with_no_world(trace):
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    lines = buffer.getvalue().splitlines(keepends=True)
+    header = json.loads(lines[0])
+    header["version"] = 1
+    header.pop("world", None)
+    restored = load_trace(
+        io.StringIO(json.dumps(header) + "\n" + "".join(lines[1:]))
+    )
+    assert restored.world is None
+    assert restored.events == trace.events
+
+
+def test_malformed_world_in_header_rejected(trace):
+    header = {
+        "format": "repro-trace",
+        "version": 2,
+        "duration": 1.0,
+        "events": 0,
+        "world": {"catalog": {}},
+    }
+    with pytest.raises(ValueError, match="malformed world spec"):
+        load_trace(io.StringIO(json.dumps(header) + "\n"))
+
+
+def test_atomic_write_leaves_target_intact_on_failure(trace, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    dump_trace(trace, path)
+    original = path.read_bytes()
+
+    class Unserializable:
+        pass
+
+    bad = WorkloadTrace(
+        events=[Unserializable()], duration=1.0  # type: ignore[list-item]
+    )
+    with pytest.raises(TypeError):
+        dump_trace(bad, path)
+    assert path.read_bytes() == original  # target never clobbered
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "trace.jsonl"]
+    assert leftovers == []  # temp file cleaned up
+
+
+def test_malformed_header_reports_line_one():
+    with pytest.raises(ValueError, match="line 1: malformed trace header"):
+        load_trace(io.StringIO("{not json\n"))
+
+
+def test_malformed_event_json_reports_line_number(trace):
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    lines = buffer.getvalue().splitlines(keepends=True)
+    lines[3] = "{broken json\n"
+    with pytest.raises(
+        ValueError, match=r"line 4: malformed JSON in event record"
+    ):
+        load_trace(io.StringIO("".join(lines)))
+
+
+def test_missing_field_reports_line_and_kind():
+    header = {
+        "format": "repro-trace",
+        "version": 2,
+        "duration": 10.0,
+        "events": 1,
+    }
+    body = {"kind": "page_view", "at": 1.0, "user_id": "u1"}
+    buffer = io.StringIO(
+        json.dumps(header) + "\n" + json.dumps(body) + "\n"
+    )
+    with pytest.raises(
+        ValueError,
+        match=r"line 2: page_view record is missing field 'page_kind'",
+    ):
+        load_trace(buffer)
+
+
+def test_truncation_reports_final_line(trace):
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    lines = buffer.getvalue().splitlines()
+    truncated = io.StringIO("\n".join(lines[:-3]) + "\n")
+    with pytest.raises(
+        ValueError, match=rf"file ends at line {len(lines) - 3}"
+    ):
         load_trace(truncated)
 
 
