@@ -78,6 +78,10 @@ def run_cached(workload):
             spec.fault_profile,
             spec.stale_if_error,
             spec.retry,
+            spec.overload_profile,
+            spec.load_multiplier,
+            spec.admission,
+            spec.autoscale,
         )
         if key not in cache:
             cache[key] = SimulationRunner(

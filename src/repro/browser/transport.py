@@ -41,6 +41,7 @@ from repro.http.url import URL
 from repro.obs.span import NULL_SPAN
 from repro.obs.tracer import NOOP_TRACER
 from repro.origin.server import TXN_VALIDATE_PATH, OriginServer
+from repro.overload.priority import LOAD_SHED_HEADER, classify_request
 from repro.sim.environment import Environment
 from repro.simnet.topology import Topology
 
@@ -60,8 +61,13 @@ def _content_length(response: Response) -> int:
 
 
 def _is_degraded(response: Response) -> bool:
-    """Whether a response is a bounded stale-if-error serving."""
-    return response.headers.get("X-Stale-If-Error") is not None
+    """Whether a response is a degraded serving (stale-if-error or a
+    load-shed synthesis) — degraded answers must never be 304-converted
+    into a confirmation that the client's copy is current."""
+    return (
+        response.headers.get("X-Stale-If-Error") is not None
+        or response.headers.get(LOAD_SHED_HEADER) is not None
+    )
 
 
 class Transport:
@@ -80,6 +86,7 @@ class Transport:
         breaker=None,
         stale_if_error: Optional[float] = None,
         tracer=None,
+        overload=None,
     ) -> None:
         self.env = env
         self.topology = topology
@@ -92,6 +99,11 @@ class Transport:
         self.breaker = breaker
         self.stale_if_error = stale_if_error
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Optional :class:`~repro.overload.ControlPlane`: concurrency
+        #: governors in front of the origin and every PoP. ``None``
+        #: keeps every code path draw-for-draw identical to the
+        #: ungoverned transport.
+        self.overload = overload
 
     def _count_bytes(self, which: str, response: Response) -> None:
         """Egress accounting: who paid for these bytes."""
@@ -173,6 +185,37 @@ class Transport:
             generated_at=self.env.now,
         )
 
+    def _shed_response(self, request: Request, node: str) -> Response:
+        """The degraded-but-marked answer a shed request resolves to.
+
+        Follows the ``X-Stale-If-Error`` contract: the mark travels
+        with the bytes, ``no-store`` (plus explicit admit guards) keeps
+        it out of every cache tier, it carries no version or validator
+        so it can never be 304-converted or enter the coherence read
+        log, and its 200 status means the retry loop does not multiply
+        load the governor just refused.
+        """
+        self._count("overload.shed_responses")
+        return Response(
+            status=Status.OK,
+            headers=Headers(
+                {"Cache-Control": "no-store", LOAD_SHED_HEADER: "1"}
+            ),
+            url=request.url,
+            served_by=node,
+            generated_at=self.env.now,
+        )
+
+    def _origin_governor(self):
+        if self.overload is None:
+            return None
+        return self.overload.origin_governor
+
+    def _pop_governor(self, edge_name: str):
+        if self.overload is None:
+            return None
+        return self.overload.pop_governor(edge_name)
+
     def _origin_attempt(
         self, from_node: str, request: Request, attempt_timeout: float, span
     ) -> Generator:
@@ -192,6 +235,21 @@ class Transport:
             from_node, self.origin_node, self.rng
         ) * self._latency_factor(from_node, self.origin_node)
         yield self.env.timeout(forward)
+        governor = self._origin_governor()
+        if governor is not None:
+            admitted = yield from governor.acquire(
+                classify_request(request), parent=span
+            )
+            if not admitted:
+                # Admission control refused the request at the origin's
+                # front door: the answer is an immediate, marked shed —
+                # only the return leg is paid, no origin work happens.
+                span.event("shed", at=self.env.now)
+                yield self.env.timeout(
+                    link.one_way(self.rng)
+                    * self._latency_factor(self.origin_node, from_node)
+                )
+                return self._shed_response(request, self.origin_node)
         response = self._origin_handle(request)
         self._count_bytes("origin_egress", response)
         if self._loses_message(self.origin_node, from_node):
@@ -379,6 +437,28 @@ class Transport:
             span.set(status=int(response.status), served_by=response.served_by)
             self.tracer.finish(span, self.env.now)
             return response
+        governor = self._pop_governor(edge_name)
+        if governor is not None:
+            admitted = yield from governor.acquire(
+                classify_request(request), parent=span
+            )
+            if not admitted:
+                # Shed at the PoP: the client still pays the return
+                # leg, but no cache or origin work happens.
+                span.event("shed", at=self.env.now)
+                response = self._shed_response(request, edge_name)
+                client_link = self.topology.link(client_node, edge_name)
+                yield self.env.timeout(
+                    client_link.one_way(self.rng)
+                    * self._latency_factor(edge_name, client_node)
+                )
+                span.set(
+                    status=int(response.status),
+                    served_by=response.served_by,
+                    shed=True,
+                )
+                self.tracer.finish(span, self.env.now)
+                return response
         if self.breaker is not None:
             self.breaker.record_success(edge_name)
         edge_span = self.tracer.start(
@@ -497,6 +577,33 @@ class Transport:
             )
             self.tracer.finish(span, self.env.now)
             return responses
+        governor = self._pop_governor(edge_name)
+        if governor is not None:
+            # The wave shares one multiplexed exchange, so it takes one
+            # governor slot weighted by its size — the class is the most
+            # protected one present so a wave carrying control traffic
+            # is never shed ahead of its least sheddable member.
+            cls = min(
+                (classify_request(request) for request in requests),
+                key=lambda c: c.rank,
+            )
+            admitted = yield from governor.acquire(
+                cls, parent=span, weight=len(requests)
+            )
+            if not admitted:
+                span.event("shed", at=self.env.now)
+                responses = [
+                    self._shed_response(request, edge_name)
+                    for request in requests
+                ]
+                client_link = self.topology.link(client_node, edge_name)
+                yield self.env.timeout(
+                    client_link.one_way(self.rng)
+                    * self._latency_factor(edge_name, client_node)
+                )
+                span.set(shed=True)
+                self.tracer.finish(span, self.env.now)
+                return responses
         if self.breaker is not None:
             self.breaker.record_success(edge_name)
         edge_span = self.tracer.start(

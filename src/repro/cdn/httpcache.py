@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.http.freshness import is_cacheable
 from repro.http.messages import Request, Response, Status
+from repro.overload.priority import LOAD_SHED_HEADER
 from repro.sim.metrics import MetricRegistry
 
 #: Called with ``(cache_key, response, now)`` after every admission.
@@ -146,11 +147,15 @@ class HttpCache:
         Degraded stale-if-error servings are never admitted: their
         verification time lies with the cache that served them, and
         restamping them here would let the grace window compound across
-        tiers.
+        tiers. Load-shed syntheses are never admitted either — they are
+        already ``no-store``, but the explicit guard keeps a marked
+        placeholder out of every tier even if the mark and the cache
+        directives ever disagree.
         """
         if (
             response.status == Status.OK
             and response.headers.get("X-Stale-If-Error") is None
+            and response.headers.get(LOAD_SHED_HEADER) is None
             and is_cacheable(response, shared=self.shared)
         ):
             key = request.url.cache_key()

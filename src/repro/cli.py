@@ -194,6 +194,36 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         help="enable retry-with-backoff for origin exchanges with this "
         "total per-request time budget",
     )
+    from repro.overload import OVERLOAD_PROFILES
+
+    parser.add_argument(
+        "--load-multiplier",
+        type=float,
+        default=None,
+        metavar="X",
+        help="amplify the trace's read traffic X-fold (flash-crowd "
+        "dial; writes, erasure, and access events are never cloned)",
+    )
+    parser.add_argument(
+        "--overload-profile",
+        default=None,
+        choices=list(OVERLOAD_PROFILES),
+        help="bound origin/PoP concurrency with the named capacity "
+        "profile (queues form in front of every governed node)",
+    )
+    parser.add_argument(
+        "--admission",
+        action="store_true",
+        help="priority admission control: bounded queues shed "
+        "personalized traffic first, statics second, control-lane "
+        "work never (requires --overload-profile)",
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="close the loop: scale PoP capacity from the metrics "
+        "stream with hysteresis (requires --overload-profile)",
+    )
     parser.add_argument(
         "--gdpr-mix",
         type=float,
@@ -286,6 +316,32 @@ def _fault_kwargs(args) -> dict:
         from repro.faults import RetryPolicy
 
         kwargs["retry"] = RetryPolicy(budget=retry_budget)
+    return kwargs
+
+
+def _overload_kwargs(args) -> dict:
+    """ScenarioSpec kwargs for the overload control-plane flags."""
+    kwargs: dict = {}
+    profile_name = getattr(args, "overload_profile", None)
+    if profile_name is not None:
+        from repro.overload import OVERLOAD_PROFILES
+
+        kwargs["overload_profile"] = OVERLOAD_PROFILES[profile_name]
+    if getattr(args, "admission", False):
+        if profile_name is None:
+            raise SystemExit("--admission requires --overload-profile")
+        kwargs["admission"] = True
+    if getattr(args, "autoscale", False):
+        if profile_name is None:
+            raise SystemExit("--autoscale requires --overload-profile")
+        kwargs["autoscale"] = True
+    multiplier = getattr(args, "load_multiplier", None)
+    if multiplier is not None:
+        if multiplier < 1.0:
+            raise SystemExit(
+                f"--load-multiplier must be >= 1: {multiplier}"
+            )
+        kwargs["load_multiplier"] = multiplier
     return kwargs
 
 
@@ -436,6 +492,7 @@ def cmd_run(args) -> int:
         **_replication_kwargs(args),
         **_fault_kwargs(args),
         **_txn_kwargs(args),
+        **_overload_kwargs(args),
         **_time_kwargs(args),
     )
     result = _run(spec, workload, args)
@@ -476,6 +533,23 @@ def cmd_run(args) -> int:
                 [txn_row], title="Multi-key transaction consistency"
             )
         )
+    if result.offered_requests:
+        print()
+        overload_row = {
+            "offered": result.offered_requests,
+            "admitted": result.admitted_requests,
+            "queued": result.queued_requests,
+            "shed": result.shed_requests,
+            "shed_ratio": round(result.shed_ratio(), 4),
+            "goodput": round(result.goodput_ratio(), 3),
+            "q_peak": result.queue_depth_peak,
+            "scale_ups": result.scale_ups,
+            "scale_downs": result.scale_downs,
+            "control": result.control_events,
+        }
+        print(
+            format_table([overload_row], title="Overload control plane")
+        )
     if result.tier_breakdown:
         print()
         tier_row = {
@@ -508,6 +582,7 @@ def cmd_compare(args) -> int:
                     **_replication_kwargs(args),
                     **_fault_kwargs(args),
                     **_txn_kwargs(args),
+                    **_overload_kwargs(args),
                     **_time_kwargs(args),
                 ),
                 workload,
@@ -549,6 +624,7 @@ def cmd_sweep_delta(args) -> int:
                 **_replication_kwargs(args),
                 **_fault_kwargs(args),
                 **_txn_kwargs(args),
+                **_overload_kwargs(args),
                 **_time_kwargs(args),
             ),
             workload,
@@ -582,6 +658,7 @@ def cmd_sweep_segments(args) -> int:
                 **_replication_kwargs(args),
                 **_fault_kwargs(args),
                 **_txn_kwargs(args),
+                **_overload_kwargs(args),
                 **_time_kwargs(args),
             ),
             workload,
@@ -618,6 +695,7 @@ def cmd_report(args) -> int:
                     **_replication_kwargs(args),
                     **_fault_kwargs(args),
                     **_txn_kwargs(args),
+                    **_overload_kwargs(args),
                     **_time_kwargs(args),
                 ),
                 workload,
@@ -673,6 +751,7 @@ def cmd_erase(args) -> int:
         **_replication_kwargs(args),
         **_fault_kwargs(args),
         **_txn_kwargs(args),
+        **_overload_kwargs(args),
         **_time_kwargs(args),
     )
     result = _run(spec, (catalog, users, trace), args)

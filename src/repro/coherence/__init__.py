@@ -13,7 +13,11 @@ verifies the guarantee against ground-truth version histories on every
 simulated read.
 """
 
-from repro.coherence.checker import DeltaAtomicityChecker, ReadRecord
+from repro.coherence.checker import (
+    DeltaAtomicityChecker,
+    ReadRecord,
+    version_regressions,
+)
 from repro.coherence.decision import ReadDecision, decide
 from repro.coherence.client import SketchClient, SketchFetchStats
 from repro.coherence.txn import TxnConsistencyChecker, TxnRecord
@@ -27,4 +31,5 @@ __all__ = [
     "TxnConsistencyChecker",
     "TxnRecord",
     "decide",
+    "version_regressions",
 ]

@@ -10,8 +10,10 @@ distribution.
 
 from __future__ import annotations
 
+import bisect
+from collections import defaultdict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.http.messages import Response
 from repro.origin.server import OriginServer
@@ -31,6 +33,60 @@ class ReadRecord:
     #: Session-consistency invariants (e.g. per-client monotonic reads)
     #: group records by this field.
     client: Optional[str] = None
+    #: When the client *issued* the operation that produced this read
+    #: (page-load start, transaction start). Session guarantees order
+    #: only non-concurrent operations, so the monotonic-read check
+    #: compares a read against earlier reads that completed before
+    #: this instant. ``None`` means unknown and is treated as
+    #: ``read_at`` (the strict sequential interpretation).
+    issued_at: Optional[float] = None
+
+
+def version_regressions(
+    records: List[ReadRecord],
+) -> List[Tuple[ReadRecord, ReadRecord]]:
+    """Per-client monotonic-read violations, concurrency-aware.
+
+    Monotonic reads is a *session* guarantee: it orders only operations
+    the client performed one after another. Under queueing, a user's
+    overlapping page loads may complete out of issue order, so a read
+    that returns an older version than a *concurrent* read is legal.
+    A regression is therefore a pair ``(newer, older)`` on the same
+    ``(client, resource_key)`` where the operation that produced the
+    *older*-version read was issued **after** the newer-version read
+    had already completed. Records with ``issued_at=None`` fall back
+    to ``read_at`` — the strict sequential interpretation.
+    """
+    groups: Dict[
+        Tuple[Optional[str], str], List[ReadRecord]
+    ] = defaultdict(list)
+    for record in records:
+        groups[(record.client, record.resource_key)].append(record)
+    regressions: List[Tuple[ReadRecord, ReadRecord]] = []
+    for group in groups.values():
+        completions = sorted(group, key=lambda r: r.read_at)
+        times = [r.read_at for r in completions]
+        # prefix[i]: the highest-version record completed by times[i].
+        prefix: List[ReadRecord] = []
+        best = completions[0]
+        for record in completions:
+            if record.version > best.version:
+                best = record
+            prefix.append(best)
+        for record in completions:
+            issued = (
+                record.issued_at
+                if record.issued_at is not None
+                else record.read_at
+            )
+            idx = bisect.bisect_right(times, issued) - 1
+            if idx < 0:
+                continue
+            seen = prefix[idx]
+            if seen is not record and seen.version > record.version:
+                regressions.append((seen, record))
+    regressions.sort(key=lambda pair: pair[1].read_at)
+    return regressions
 
 
 class DeltaAtomicityChecker:
@@ -56,6 +112,7 @@ class DeltaAtomicityChecker:
         read_at: float,
         user_id: Optional[str] = None,
         client: Optional[str] = None,
+        issued_at: Optional[float] = None,
     ) -> ReadRecord:
         """Check one read; returns its record (and stores it)."""
         if response.url is None or response.version is None:
@@ -81,6 +138,7 @@ class DeltaAtomicityChecker:
             staleness=staleness,
             violation=violation,
             client=client if client is not None else user_id,
+            issued_at=issued_at,
         )
         self.records.append(record)
         self.metrics.histogram("coherence.staleness").observe(staleness)

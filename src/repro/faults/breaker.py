@@ -81,8 +81,17 @@ class CircuitBreaker:
         return True
 
     def record_success(self, name: str) -> None:
-        """The routed request succeeded: close and reset."""
+        """The routed request succeeded: close and reset.
+
+        Only a success that the breaker *routed* may close it: while
+        open with no probe in flight, a stale success — e.g. a request
+        admitted before the trip and released later by a queue drain
+        burst — is ignored, otherwise the breaker would flap open/
+        closed on every drained backlog.
+        """
         state = self._state(name)
+        if state.opened_at is not None and not state.probing:
+            return
         state.consecutive_failures = 0
         state.probing = False
         if state.opened_at is not None:

@@ -169,6 +169,7 @@ class ErasureCoordinator:
         tracer=None,
         now_fn: Callable[[], float] = lambda: 0.0,
         txn_registry=None,
+        overload=None,
     ) -> None:
         self.store = store
         self.cdn = cdn
@@ -180,6 +181,11 @@ class ErasureCoordinator:
         self.txn_registry = txn_registry
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Optional :class:`~repro.overload.ControlPlane`: erasure and
+        #: access ride its control lane — accounted, never shed, even
+        #: at 50× offered load (the compliance property the overload
+        #: suite pins).
+        self.overload = overload
         self._now = now_fn
         #: Users erased so far — the harness scrubs exported spans for
         #: exactly this set.
@@ -220,6 +226,8 @@ class ErasureCoordinator:
         """Remove ``user_id``'s bytes from every tier; verify; report."""
         matcher = UserDataMatcher(user_id)
         now = self._now()
+        if self.overload is not None:
+            self.overload.control_ticket("erasure")
         report = ErasureReport(user_id=user_id, requested_at=now)
         span = self.tracer.start(
             "gdpr-erase",
@@ -383,6 +391,8 @@ class ErasureCoordinator:
         """Assemble a subject-access report; mutates nothing."""
         matcher = UserDataMatcher(user_id)
         now = self._now()
+        if self.overload is not None:
+            self.overload.control_ticket("access")
         report = AccessReport(user_id=user_id, requested_at=now)
         span = self.tracer.start(
             "gdpr-access",

@@ -78,6 +78,31 @@ class RunResult:
     txn_serialization_violations: int = 0
     txn_silent_downgrades: int = 0
     txn_buffers_scrubbed: int = 0
+    #: Overload-plane accounting (zero unless an
+    #: ``overload_profile`` governed the run). ``offered_requests``
+    #: counts every arrival at a governor, ``admitted_requests`` those
+    #: that got a slot (queued or not), ``shed_requests`` the
+    #: governor-side refusals, ``shed_responses`` the synthesized
+    #: ``X-Load-Shed`` answers that reached clients — the property
+    #: suite pins the two shed counts equal.
+    offered_requests: int = 0
+    admitted_requests: int = 0
+    queued_requests: int = 0
+    shed_requests: int = 0
+    shed_responses: int = 0
+    #: Shed counts by priority class label ("personalized", "static");
+    #: "control" must never appear.
+    shed_by_class: Dict[str, int] = field(default_factory=dict)
+    #: Page views whose every response was fresh, unmarked, and whose
+    #: PLT met the profile's SLO — the goodput numerator. Counted only
+    #: when an overload profile is active (otherwise 0).
+    goodput_pages: int = 0
+    #: Deepest any governed queue got (merged with max across shards).
+    queue_depth_peak: int = 0
+    #: Autoscaler decisions and control-lane tickets.
+    scale_ups: int = 0
+    scale_downs: int = 0
+    control_events: int = 0
     #: Per-tier latency attribution (tier -> total critical-path
     #: seconds across all traced page views); ``None`` unless the run
     #: recorded traces.
@@ -171,6 +196,20 @@ class RunResult:
             return 1.0
         return 1.0 - self.personalization_misses / self.personalization_checks
 
+    def goodput_ratio(self) -> float:
+        """Fraction of page views that were *good*: every response
+        fresh and unmarked (no shed, no stale-if-error, no offline
+        fallback, no 5xx) and the PLT within the profile's SLO."""
+        if not self.page_views:
+            return 0.0
+        return self.goodput_pages / self.page_views
+
+    def shed_ratio(self) -> float:
+        """Fraction of offered requests the governors refused."""
+        if not self.offered_requests:
+            return 0.0
+        return self.shed_requests / self.offered_requests
+
     def events_per_second(self) -> float:
         """Kernel events executed per wall-clock second (0 if untimed)."""
         if self.wall_seconds <= 0:
@@ -259,6 +298,22 @@ class RunResult:
         )
         self.txn_silent_downgrades += other.txn_silent_downgrades
         self.txn_buffers_scrubbed += other.txn_buffers_scrubbed
+        self.offered_requests += other.offered_requests
+        self.admitted_requests += other.admitted_requests
+        self.queued_requests += other.queued_requests
+        self.shed_requests += other.shed_requests
+        self.shed_responses += other.shed_responses
+        for cls, count in other.shed_by_class.items():
+            self.shed_by_class[cls] = self.shed_by_class.get(cls, 0) + count
+        self.goodput_pages += other.goodput_pages
+        # Peak depth is an extremum, not a flow: shards each saw their
+        # own queue, so the merged peak is the worst any shard saw.
+        self.queue_depth_peak = max(
+            self.queue_depth_peak, other.queue_depth_peak
+        )
+        self.scale_ups += other.scale_ups
+        self.scale_downs += other.scale_downs
+        self.control_events += other.control_events
         if other.tier_breakdown is not None:
             if self.tier_breakdown is None:
                 self.tier_breakdown = {}
@@ -327,6 +382,19 @@ class RunResult:
             ),
             "txn_silent_downgrades": self.txn_silent_downgrades,
             "txn_buffers_scrubbed": self.txn_buffers_scrubbed,
+            "offered_requests": self.offered_requests,
+            "admitted_requests": self.admitted_requests,
+            "queued_requests": self.queued_requests,
+            "shed_requests": self.shed_requests,
+            "shed_responses": self.shed_responses,
+            "shed_by_class": dict(self.shed_by_class),
+            "goodput_pages": self.goodput_pages,
+            "goodput_ratio": self.goodput_ratio(),
+            "shed_ratio": self.shed_ratio(),
+            "queue_depth_peak": self.queue_depth_peak,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "control_events": self.control_events,
         }
         if len(self.plt):
             record["plt"] = {

@@ -16,6 +16,7 @@ from repro.http.url import URL
 from repro.invalidation.pipeline import InvalidationPipeline
 from repro.obs import MetricsRegistry, NOOP_TRACER, RecordingTracer
 from repro.origin.server import OriginServer
+from repro.overload.priority import LOAD_SHED_HEADER
 from repro.origin.site import ResourceKind
 from repro.sim.environment import Environment
 from repro.sim.rng import RngStreams
@@ -82,6 +83,14 @@ class SimulationRunner:
         self.spec = spec.time_scaled()
         self.catalog = catalog
         self.users = users
+        # Flash-crowd amplification: clone read events per the load
+        # multiplier. Clones are keyed on event identity (not a running
+        # counter), so amplifying a per-user shard partition equals
+        # partitioning the amplified trace — sharded replay stays exact.
+        if self.spec.load_multiplier != 1.0:
+            from repro.workload.ingest import amplify_trace
+
+            trace = amplify_trace(trace, self.spec.load_multiplier)
         self.trace = trace
         self.site_factory = site_factory or build_ecommerce_site
         self.pages = page_builder or PageBuilder()
@@ -133,6 +142,24 @@ class SimulationRunner:
         """
         return self.spec.stale_if_error or 0.0
 
+    def _overload_queue_slack(self) -> float:
+        """Extra staleness budget opened by governed queueing.
+
+        Delivery delay is staleness to the checker: a response that
+        sat in a governor queue is recorded at its delayed arrival.
+        With admission control on, bounded queues bound that delay
+        (:meth:`OverloadProfile.queue_delay_bound`); with admission
+        off the FIFO is unbounded, so — exactly like the
+        expiration-based stacks below — the checker records staleness
+        without judging violations.
+        """
+        profile = self.spec.overload_profile
+        if profile is None:
+            return 0.0
+        if not self.spec.admission:
+            return float("inf")
+        return profile.queue_delay_bound()
+
     def _checker_delta(self) -> float:
         scenario = self.spec.scenario
         if scenario in (
@@ -154,6 +181,7 @@ class SimulationRunner:
                 bound
                 + self._async_propagation_slack()
                 + self._stale_if_error_grace()
+                + self._overload_queue_slack()
             )
         if scenario is Scenario.SPEED_KIT_SKETCH_ONLY:
             # Without purges, edges serve (and 304-confirm) stale copies
@@ -164,6 +192,7 @@ class SimulationRunner:
                 + _SLACK
                 + self._async_propagation_slack()
                 + self._stale_if_error_grace()
+                + self._overload_queue_slack()
             )
         # Expiration-based stacks are bounded by TTL accumulation only;
         # the checker records staleness without judging violations.
@@ -279,6 +308,33 @@ class SimulationRunner:
                     metrics=self.metrics,
                     tracer=self.tracer,
                 )
+        # The overload control plane: governors in front of the origin
+        # and every PoP, the never-shed control lane, and (opted in)
+        # the closed autoscaling loop reading the metrics stream.
+        self._overload = None
+        self._autoscaler = None
+        self._overload_slo: Optional[float] = None
+        if spec.overload_profile is not None:
+            from repro.overload import ControlPlane, PopAutoscaler
+
+            self._overload = ControlPlane(
+                self.env,
+                spec.overload_profile,
+                pop_names=self._pop_names if scenario.uses_cdn else (),
+                admission=spec.admission,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            self._overload_slo = spec.overload_profile.slo
+            if spec.autoscale:
+                self._autoscaler = PopAutoscaler(
+                    self.env,
+                    self._overload,
+                    self.metrics,
+                    rng=self.streams.stream("autoscale"),
+                    horizon=self.trace.duration,
+                    tracer=self.tracer,
+                )
         if scenario.uses_speed_kit:
             use_sketch = scenario is not Scenario.SPEED_KIT_PURGE_ONLY
             use_purge = scenario is not Scenario.SPEED_KIT_SKETCH_ONLY
@@ -292,6 +348,7 @@ class SimulationRunner:
                 purge_latency=spec.purge_latency,
                 metrics=self.metrics,
                 tracer=self.tracer,
+                overload=self._overload,
             )
         faults = self._build_faults()
         self._faults = faults
@@ -316,6 +373,7 @@ class SimulationRunner:
             breaker=breaker,
             stale_if_error=spec.stale_if_error,
             tracer=self.tracer,
+            overload=self._overload,
         )
         self.checker = DeltaAtomicityChecker(
             self.server, delta=self._checker_delta(), metrics=self.metrics
@@ -352,6 +410,7 @@ class SimulationRunner:
             tracer=self.tracer,
             now_fn=lambda: self.env.now,
             txn_registry=self.txn_registry,
+            overload=self._overload,
         )
         self._engines: Dict[str, PageLoadEngine] = {}
         self._prefetchers: Dict[str, object] = {}
@@ -730,6 +789,7 @@ class SimulationRunner:
                 delta_covered,
                 client=user.user_id,
                 read_at=read.read_at,
+                issued_at=txn.started_at,
             )
         self.txn_checker.record_txn(
             requested=txn.requested,
@@ -784,9 +844,25 @@ class SimulationRunner:
         self.metrics.series("plt.timeline").record(
             result.started_at, result.plt
         )
+        if self._overload_slo is not None:
+            # Goodput: every response clean (no 5xx, no shed, no
+            # degraded fallback) *and* the page met the profile's SLO.
+            clean = not any(
+                response.status.is_server_error
+                or LOAD_SHED_HEADER in response.headers
+                or "X-Stale-If-Error" in response.headers
+                or "X-SpeedKit-Offline" in response.headers
+                for response in result.responses
+            )
+            if clean and result.plt <= self._overload_slo:
+                self.result.goodput_pages += 1
+                self.metrics.counter("overload.goodput_pages").inc()
         for response in result.responses:
             self._record_response(
-                response, delta_covered, client=user.user_id
+                response,
+                delta_covered,
+                client=user.user_id,
+                issued_at=result.started_at,
             )
         if result.responses:
             self._record_personalization(user, result.responses[0])
@@ -836,9 +912,18 @@ class SimulationRunner:
         delta_covered: bool = True,
         client: Optional[str] = None,
         read_at: Optional[float] = None,
+        issued_at: Optional[float] = None,
     ) -> None:
         if response.status.is_server_error:
             self.result.failed_responses += 1
+            return
+        if LOAD_SHED_HEADER in response.headers:
+            # A synthesized shed answer: marked, versionless, and
+            # counted on its own — it must not pollute the serve/hit
+            # ledgers or the coherence read log.
+            layer = self._layer_of(response.served_by)
+            self.result.shed_responses += 1
+            self.metrics.counter(f"serve.shed.{layer}").inc()
             return
         if response.status != Status.OK or response.version is None:
             return
@@ -872,6 +957,7 @@ class SimulationRunner:
                 response,
                 read_at if read_at is not None else self.env.now,
                 client=client,
+                issued_at=issued_at,
             )
 
     def _finalize(self) -> None:
@@ -901,6 +987,32 @@ class SimulationRunner:
             self.txn_checker.silent_downgrade_count
         )
         result.txn_buffers_scrubbed = self.txn_registry.buffers_scrubbed
+        if self._overload is not None:
+
+            def overload_counter(name: str) -> int:
+                counter = self.metrics.get_counter(name)
+                return int(counter.value) if counter is not None else 0
+
+            result.offered_requests = overload_counter(
+                "overload.offered.total"
+            )
+            result.admitted_requests = overload_counter(
+                "overload.admitted.total"
+            )
+            result.queued_requests = overload_counter(
+                "overload.queued.total"
+            )
+            result.shed_requests = overload_counter("overload.shed.total")
+            for label in ("control", "static", "personalized"):
+                shed = overload_counter(f"overload.shed.{label}")
+                if shed:
+                    result.shed_by_class[label] = shed
+            result.control_events = overload_counter(
+                "overload.control.total"
+            )
+            result.scale_ups = overload_counter("overload.scale_ups")
+            result.scale_downs = overload_counter("overload.scale_downs")
+            result.queue_depth_peak = self._overload.queue_depth_peak()
         for name, attr in (
             ("bytes.origin_egress", "origin_egress_bytes"),
             ("bytes.edge_egress", "edge_egress_bytes"),

@@ -10,6 +10,7 @@ from repro.storage import BackendSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.faults import FaultProfile, RetryPolicy
+    from repro.overload import OverloadProfile
 
 
 class Scenario(enum.Enum):
@@ -116,6 +117,23 @@ class ScenarioSpec:
     #: wall-time-gap knobs via :meth:`time_scaled` so the compressed
     #: replay reproduces the original cache dynamics.
     time_scale: float = 1.0
+    #: Capacity model for the overload control plane (see
+    #: :mod:`repro.overload`): per-PoP and origin concurrency slots,
+    #: service times, and queue bounds. ``None`` leaves every node
+    #: ungoverned — draw-for-draw the historical transport.
+    overload_profile: Optional["OverloadProfile"] = None
+    #: Offered-load amplification: replay the trace with this many
+    #: copies of every read event (fractional part hash-sampled), the
+    #: flash-crowd dial for the E25 overload experiment. Writes,
+    #: erasure, and access requests are never amplified.
+    load_multiplier: float = 1.0
+    #: Turn on priority admission control: bounded queues shed
+    #: personalized traffic first, then statics, never control-lane
+    #: work. Off = unbounded FIFO (the uncontrolled baseline).
+    admission: bool = False
+    #: Close the loop: scale PoP capacity from the metrics stream with
+    #: hysteresis (needs ``overload_profile`` with governed PoPs).
+    autoscale: bool = False
     #: Record request-path spans (see :mod:`repro.obs`): every page
     #: view, worker decision, transport hop, edge lookup, and origin
     #: exchange gets a span with sim-clock timings and cache verdicts.
@@ -140,6 +158,8 @@ class ScenarioSpec:
         behind flush cadence, retry budgets — model how fast the
         *system* is, not how fast the recorded timeline plays, so they
         stay unscaled (the checker's in-flight slack covers them).
+        Overload-plane knobs (capacities, service times, the SLO, the
+        autoscaler interval) are infrastructure too and stay unscaled.
         """
         ts = self.time_scale
         if ts == 1.0:

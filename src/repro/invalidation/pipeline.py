@@ -80,6 +80,7 @@ class InvalidationPipeline:
         purge_latency: float = 0.080,
         metrics: Optional[MetricRegistry] = None,
         tracer=None,
+        overload=None,
     ) -> None:
         if purge_latency < detection_latency:
             raise ValueError(
@@ -94,6 +95,9 @@ class InvalidationPipeline:
         self.purge_latency = purge_latency
         self.metrics = metrics or MetricRegistry()
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Optional :class:`~repro.overload.ControlPlane`: purges ride
+        #: its control lane — accounted, never queued, never shed.
+        self.overload = overload
         self.matcher = QueryMatcher()
         self.variants = VariantIndex()
         self.events: list = []
@@ -174,6 +178,8 @@ class InvalidationPipeline:
             n_keys=len(cache_keys),
             keys=sorted(cache_keys)[:32],
         )
+        if self.overload is not None:
+            self.overload.control_ticket("invalidation", len(cache_keys))
         if self.cdn is not None:
             # Async PoP replication races the purge: replicas of the
             # purged keys still travelling between PoPs would re-apply

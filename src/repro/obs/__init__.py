@@ -26,6 +26,7 @@ and diffable across runs.
 
 from repro.obs.analysis import (
     critical_path_attribution,
+    overload_accounting,
     pageview_attributions,
     reads_from_trace,
     response_attrs,
@@ -56,6 +57,7 @@ __all__ = [
     "dump_jsonl",
     "load_jsonl",
     "normalize_for_golden",
+    "overload_accounting",
     "pageview_attributions",
     "reads_from_trace",
     "response_attrs",

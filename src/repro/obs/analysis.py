@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "critical_path_attribution",
+    "overload_accounting",
     "pageview_attributions",
     "reads_from_trace",
     "response_attrs",
@@ -49,6 +50,8 @@ def response_attrs(response) -> Dict[str, Any]:
         attrs["degraded"] = True
     if "X-SpeedKit-Offline" in headers:
         attrs["offline"] = True
+    if "X-Load-Shed" in headers:
+        attrs["shed"] = True
     return attrs
 
 
@@ -135,6 +138,7 @@ def _read_from_attrs(
         return None
     return {
         "read_at": pageview["end"],
+        "issued_at": pageview["start"],
         "client": pageview.get("attrs", {}).get("user"),
         "covered": bool(pageview.get("attrs", {}).get("covered", True)),
         "url": attrs.get("url"),
@@ -181,6 +185,91 @@ def txns_from_trace(records: List[Record]) -> List[Dict[str, Any]]:
             }
         )
     return txns
+
+
+def _dirty_response_attrs(attrs: Dict[str, Any]) -> bool:
+    """Whether one span's response attributes disqualify goodput."""
+    if attrs.get("shed") or attrs.get("degraded") or attrs.get("offline"):
+        return True
+    status = attrs.get("status")
+    return isinstance(status, int) and status >= 500
+
+
+def _subtree_clean(
+    record: Record, children: Dict[Optional[int], List[Record]]
+) -> bool:
+    """No shed, no degraded serving, no 5xx anywhere under ``record``.
+
+    Background work (prefetch, SWR revalidation) is excluded — it is
+    not part of what the page delivered, matching the live rule that
+    judges only the page load's own responses.
+    """
+    stack = [record]
+    while stack:
+        node = stack.pop()
+        attrs = node.get("attrs", {})
+        if node is not record:
+            if node.get("name") == "overload.shed":
+                return False
+            if _dirty_response_attrs(attrs):
+                return False
+        for item in attrs.get("responses", []):
+            if _dirty_response_attrs(item):
+                return False
+        stack.extend(
+            kid
+            for kid in children.get(node.get("span"), [])
+            if not kid.get("attrs", {}).get("background")
+        )
+    return True
+
+
+def overload_accounting(
+    records: List[Record], slo: Optional[float] = None
+) -> Dict[str, Any]:
+    """Rebuild the overload ledger purely from exported span records.
+
+    Shed and queue totals come from the governor's ``overload.shed`` /
+    ``overload.queue`` spans (each carries its request weight ``n``);
+    goodput re-applies the live rule offline: a page view counts iff
+    its subtree holds no shed, no degraded serving, no 5xx, and its
+    ``plt`` attribute meets the SLO. With ``slo=None`` goodput is 0,
+    mirroring a run without an overload profile.
+    """
+    children = _children_index(records)
+    shed_requests = 0
+    queued_requests = 0
+    shed_by_class: Dict[str, int] = {}
+    for record in records:
+        name = record.get("name")
+        attrs = record.get("attrs", {})
+        if name == "overload.shed":
+            n = int(attrs.get("n", 1))
+            shed_requests += n
+            cls = str(attrs.get("cls", "unknown"))
+            shed_by_class[cls] = shed_by_class.get(cls, 0) + n
+        elif name == "overload.queue":
+            queued_requests += int(attrs.get("n", 1))
+    page_views = 0
+    goodput_pages = 0
+    for record in records:
+        if record.get("name") != "pageview" or record.get("end") is None:
+            continue
+        page_views += 1
+        if slo is None:
+            continue
+        plt = record.get("attrs", {}).get("plt")
+        if plt is None or plt > slo:
+            continue
+        if _subtree_clean(record, children):
+            goodput_pages += 1
+    return {
+        "page_views": page_views,
+        "goodput_pages": goodput_pages,
+        "shed_requests": shed_requests,
+        "queued_requests": queued_requests,
+        "shed_by_class": shed_by_class,
+    }
 
 
 def reads_from_trace(records: List[Record]) -> List[Dict[str, Any]]:

@@ -37,6 +37,7 @@ from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 from repro.workload.serialization import dump_trace, load_trace
 from repro.workload.world import WorldSpec
 from repro.workload.ingest import (
+    amplify_trace,
     import_access_log,
     rescale_trace,
     validate_trace_world,
@@ -62,6 +63,7 @@ __all__ = [
     "WorkloadGenerator",
     "WorkloadTrace",
     "WorldSpec",
+    "amplify_trace",
     "build_ecommerce_site",
     "build_media_site",
     "dump_trace",

@@ -296,6 +296,75 @@ def rescale_trace(trace: WorkloadTrace, rate: float) -> WorkloadTrace:
     )
 
 
+#: Event kinds the load multiplier amplifies: *user traffic*. The
+#: background write stream (``ProductUpdate``) and GDPR requests
+#: (``EraseUser``/``AccessUser``) model site operations and legal
+#: obligations, which a flash crowd does not multiply.
+_AMPLIFIED = (PageView, CartAdd, TxnRead)
+
+
+def _amplify_jitter(event: TraceEvent, copy: int) -> float:
+    """Deterministic per-(event, copy) jitter in ``[0, 1)``.
+
+    Keyed on the event's own identity (never a running counter), so
+    amplifying a per-user trace slice yields exactly the clones that
+    slice would receive from amplifying the whole trace — the property
+    that makes ``--load-multiplier`` commute with ``--shards``
+    partitioning.
+    """
+    user = getattr(event, "user_id", "")
+    target = getattr(event, "target", "") or getattr(
+        event, "product_id", ""
+    )
+    digest = hashlib.sha256(
+        f"amplify:{event.at!r}:{user}:{target}:{copy}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def amplify_trace(trace: WorkloadTrace, multiplier: float) -> WorkloadTrace:
+    """Multiply the trace's *user traffic* by ``multiplier`` (≥ 1).
+
+    Every :class:`PageView`/:class:`CartAdd`/:class:`TxnRead` is
+    cloned ``multiplier − 1`` extra times (fractional multipliers
+    clone a deterministic hash-selected subset), each clone keeping
+    its user and landing within one second of the original — a flash
+    crowd is the *same* population hammering the same pages, so clones
+    stay on their user's client stack and, under ``--shards``, in
+    their user's shard. Background writes and GDPR events are never
+    amplified. Timestamps stay sorted; duration and the attached world
+    are untouched.
+    """
+    if multiplier < 1.0:
+        raise ValueError(
+            f"load multiplier must be >= 1: {multiplier}"
+        )
+    if multiplier == 1.0:
+        return trace
+    whole = int(multiplier)
+    fraction = multiplier - whole
+    events: List[TraceEvent] = []
+    for event in trace.events:
+        events.append(event)
+        if not isinstance(event, _AMPLIFIED):
+            continue
+        copies = whole - 1
+        if fraction and _amplify_jitter(event, 0) < fraction:
+            copies += 1
+        for copy in range(1, copies + 1):
+            offset = _amplify_jitter(event, copy)
+            events.append(
+                replace(
+                    event,
+                    at=min(event.at + offset, trace.duration),
+                )
+            )
+    events.sort(key=lambda event: event.at)
+    return WorkloadTrace(
+        events=events, duration=trace.duration, world=trace.world
+    )
+
+
 def _event_refs(event: TraceEvent) -> Tuple[Optional[str], List[str], List[str]]:
     """(user_id, product_ids, categories) one event references."""
     if isinstance(event, PageView):

@@ -23,6 +23,7 @@ import random
 
 import pytest
 
+from repro.coherence import version_regressions
 from repro.faults import PROFILES, RetryPolicy
 from repro.harness import Scenario, ScenarioSpec, SimulationRunner
 from repro.storage import BackendSpec
@@ -112,20 +113,6 @@ def run_config(config, seed):
     return runner
 
 
-def version_regressions(checker):
-    """(earlier, later) read pairs where a client's version went back."""
-    highest = {}
-    regressions = []
-    for record in checker.records:
-        key = (record.client, record.resource_key)
-        prev = highest.get(key)
-        if prev is not None and record.version < prev.version:
-            regressions.append((prev, record))
-        if prev is None or record.version > prev.version:
-            highest[key] = record
-    return regressions
-
-
 @pytest.fixture(params=sorted(CONFIGS))
 def config(request):
     return request.param
@@ -159,7 +146,7 @@ class TestStalenessInvariants:
             )
 
     def test_reads_are_monotonic_per_client_and_key(self, runner):
-        regressions = version_regressions(runner.checker)
+        regressions = version_regressions(runner.checker.records)
         assert regressions == [], (
             f"{len(regressions)} version regressions; first: "
             f"{regressions[0]}"

@@ -18,8 +18,9 @@ from repro.workload import (
     generate_users,
 )
 
-#: Fault profiles the traced regression runs cover.
-TRACE_PROFILES = ("none", "chaos")
+#: Regimes the traced regression runs cover: the perfect world, a
+#: chaotic fault profile, and a saturated overload control plane.
+TRACE_PROFILES = ("none", "chaos", "overload")
 
 SEED = 5
 
@@ -56,6 +57,27 @@ def spec_for(profile, seed=SEED):
             fault_profile=PROFILES["chaos"],
             stale_if_error=60.0,
             retry=RetryPolicy(),
+        )
+    elif profile == "overload":
+        from repro.overload import OverloadProfile
+
+        # Both the origin and the (single-slot) PoP are governed and
+        # the autoscaler is on, so the trace records every overload
+        # span kind: queue waits, sheds, and scale decisions.
+        kwargs = dict(
+            overload_profile=OverloadProfile(
+                name="golden-overload",
+                origin_capacity=2,
+                origin_service_time=0.25,
+                pop_capacity=1,
+                pop_service_time=0.25,
+                queue_limit=16,
+                personalized_queue_limit=4,
+                slo=2.0,
+            ),
+            load_multiplier=6.0,
+            admission=True,
+            autoscale=True,
         )
     return ScenarioSpec(
         scenario=Scenario.SPEED_KIT,

@@ -1,0 +1,115 @@
+"""Overload spans: coverage, shape, and the offline goodput rebuild.
+
+The strongest completeness check for the new span kinds: rebuild the
+overload ledger — goodput, shed and queue totals, per-class shed
+counts — *purely from exported span records* and it must equal the
+live run's ``RunResult`` numbers. Golden comparison itself rides the
+shared ``speed-kit-overload.jsonl`` golden in
+:mod:`tests.obs.test_golden_traces`.
+"""
+
+import pytest
+
+from repro.obs import overload_accounting
+
+from tests.obs.conftest import traced_runner
+
+pytestmark = pytest.mark.overload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return traced_runner("overload")
+
+
+@pytest.fixture(scope="module")
+def records(runner):
+    return runner.result.trace_records
+
+
+def spans_named(records, name):
+    return [record for record in records if record.get("name") == name]
+
+
+class TestSpanCoverage:
+    def test_every_overload_span_kind_is_recorded(self, records):
+        names = {record["name"] for record in records}
+        for expected in (
+            "overload.queue",
+            "overload.shed",
+            "overload.scale",
+        ):
+            assert expected in names, f"no {expected!r} span recorded"
+
+    def test_queue_spans_carry_waits_and_classes(self, records):
+        for span in spans_named(records, "overload.queue"):
+            attrs = span["attrs"]
+            assert span["tier"] == "overload"
+            assert attrs["cls"] in ("control", "static", "personalized")
+            assert attrs["n"] >= 1
+            assert attrs["depth"] >= 1
+            assert span["end"] >= span["start"]
+
+    def test_shed_spans_are_instantaneous_and_classified(self, records):
+        spans = spans_named(records, "overload.shed")
+        assert spans
+        for span in spans:
+            assert span["end"] == span["start"]
+            assert span["attrs"]["cls"] != "control"
+            assert span["attrs"]["n"] >= 1
+
+    def test_scale_spans_form_a_coherent_capacity_walk(self, records):
+        spans = spans_named(records, "overload.scale")
+        assert spans
+        walks = {}
+        for span in sorted(spans, key=lambda s: s["start"]):
+            attrs = span["attrs"]
+            assert attrs["direction"] in ("up", "down")
+            if attrs["direction"] == "up":
+                assert attrs["to_capacity"] > attrs["from_capacity"]
+            else:
+                assert attrs["to_capacity"] < attrs["from_capacity"]
+            node = span["node"]
+            previous = walks.get(node)
+            if previous is not None:
+                assert attrs["from_capacity"] == previous, (
+                    f"{node} capacity walk broken: "
+                    f"{previous} -> {attrs['from_capacity']}"
+                )
+            walks[node] = attrs["to_capacity"]
+
+    def test_queue_spans_parent_into_request_traces(self, records):
+        by_span = {record["span"]: record for record in records}
+        parented = [
+            span
+            for span in spans_named(records, "overload.queue")
+            if span.get("parent") is not None
+        ]
+        assert parented
+        for span in parented:
+            assert span["parent"] in by_span
+
+
+class TestOfflineRebuild:
+    def test_accounting_rebuilds_the_live_ledger(self, runner, records):
+        rebuilt = overload_accounting(
+            records, slo=runner.spec.overload_profile.slo
+        )
+        result = runner.result
+        assert rebuilt["page_views"] == result.page_views
+        assert rebuilt["goodput_pages"] == result.goodput_pages
+        assert rebuilt["shed_requests"] == result.shed_requests
+        assert rebuilt["queued_requests"] == result.queued_requests
+        assert rebuilt["shed_by_class"] == result.shed_by_class
+
+    def test_rebuild_without_slo_reports_no_goodput(self, records):
+        rebuilt = overload_accounting(records, slo=None)
+        assert rebuilt["goodput_pages"] == 0
+        assert rebuilt["shed_requests"] > 0
+
+    def test_ledger_is_not_vacuous(self, runner):
+        result = runner.result
+        assert result.shed_requests > 0
+        assert result.queued_requests > 0
+        assert result.goodput_pages > 0
+        assert result.scale_ups > 0

@@ -1,0 +1,47 @@
+"""Shared fixtures for the overload control-plane suite.
+
+The workload is deliberately small-but-bursty (12 users, 5-minute
+trace, short think times): at 1x it runs far below every profile's
+capacity, and at ``load_multiplier`` 10-50x it drives the governed
+nodes deep into saturation — the regime every test here is about.
+"""
+
+import random
+
+import pytest
+
+from repro.workload import (
+    CatalogConfig,
+    UserPopulationConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_catalog,
+    generate_users,
+)
+
+
+def build_workload(seed=11, n_products=20, n_users=12, duration=300.0):
+    catalog = generate_catalog(
+        CatalogConfig(n_products=n_products), random.Random(seed)
+    )
+    users = generate_users(
+        UserPopulationConfig(n_users=n_users, consent_fraction=1.0),
+        random.Random(seed + 1),
+    )
+    config = WorkloadConfig(
+        duration=duration,
+        session_rate=0.12,
+        mean_session_length=4.0,
+        think_time_mean=5.0,
+        write_rate=0.05,
+    )
+    trace = WorkloadGenerator(catalog, users, config).generate(
+        random.Random(seed + 2)
+    )
+    return catalog, users, trace
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """One deterministic flash-crowd workload shared by the suite."""
+    return build_workload()

@@ -1,0 +1,134 @@
+"""Trace amplification: the flash-crowd multiplier's contract.
+
+``amplify_trace`` must multiply *user traffic only*, stay
+deterministic, preserve ordering, and — the property sharded overload
+runs depend on — commute with per-user trace partitioning.
+"""
+
+import pytest
+
+from repro.parallel import partition_users, shard_trace
+from repro.workload import amplify_trace
+from repro.workload.trace import (
+    CartAdd,
+    EraseUser,
+    PageView,
+    ProductUpdate,
+    TxnRead,
+)
+
+from tests.overload.conftest import build_workload
+
+pytestmark = pytest.mark.overload
+
+AMPLIFIED = (PageView, CartAdd, TxnRead)
+
+
+def kinds(trace):
+    counts = {}
+    for event in trace.events:
+        name = type(event).__name__
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+@pytest.fixture(scope="module")
+def trace(workload):
+    return workload[2]
+
+
+class TestCounts:
+    def test_whole_multiplier_multiplies_user_traffic_exactly(self, trace):
+        amplified = amplify_trace(trace, 10.0)
+        before, after = kinds(trace), kinds(amplified)
+        for kind in ("PageView", "CartAdd", "TxnRead"):
+            if kind in before:
+                assert after[kind] == 10 * before[kind]
+
+    def test_background_and_gdpr_events_are_never_amplified(self, trace):
+        amplified = amplify_trace(trace, 50.0)
+        before, after = kinds(trace), kinds(amplified)
+        for kind in ("ProductUpdate", "EraseUser", "AccessUser"):
+            assert after.get(kind, 0) == before.get(kind, 0)
+
+    def test_fractional_multiplier_lands_between_whole_neighbours(
+        self, trace
+    ):
+        def user_events(multiplied):
+            return sum(
+                1
+                for event in multiplied.events
+                if isinstance(event, AMPLIFIED)
+            )
+
+        low = user_events(amplify_trace(trace, 2.0))
+        mid = user_events(amplify_trace(trace, 2.5))
+        high = user_events(amplify_trace(trace, 3.0))
+        assert low < mid < high
+
+    def test_multiplier_one_returns_the_trace_unchanged(self, trace):
+        assert amplify_trace(trace, 1.0) is trace
+
+    def test_rejects_deamplification(self, trace):
+        with pytest.raises(ValueError):
+            amplify_trace(trace, 0.5)
+
+
+class TestShape:
+    def test_timestamps_stay_sorted_and_bounded(self, trace):
+        amplified = amplify_trace(trace, 10.0)
+        times = [event.at for event in amplified.events]
+        assert times == sorted(times)
+        assert all(0 <= at <= amplified.duration for at in times)
+
+    def test_duration_and_world_are_untouched(self, trace):
+        amplified = amplify_trace(trace, 10.0)
+        assert amplified.duration == trace.duration
+        assert amplified.world is trace.world
+
+    def test_clones_keep_their_user(self, trace):
+        amplified = amplify_trace(trace, 3.0)
+
+        def per_user(multiplied):
+            counts = {}
+            for event in multiplied.events:
+                if isinstance(event, PageView):
+                    counts[event.user_id] = counts.get(event.user_id, 0) + 1
+            return counts
+
+        before = per_user(trace)
+        after = per_user(amplified)
+        assert after == {user: 3 * n for user, n in before.items()}
+
+    def test_amplification_is_deterministic(self, trace):
+        first = amplify_trace(trace, 7.5)
+        second = amplify_trace(trace, 7.5)
+        assert [
+            (type(e).__name__, e.at) for e in first.events
+        ] == [(type(e).__name__, e.at) for e in second.events]
+
+
+class TestShardCommutation:
+    """amplify(shard(trace)) == shard(amplify(trace)) — the identity
+    that lets the sharded runner amplify per shard and still replay
+    exactly the serial runner's amplified workload."""
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    @pytest.mark.parametrize("multiplier", [3.0, 7.5])
+    def test_amplify_commutes_with_partitioning(
+        self, trace, n_shards, multiplier
+    ):
+        shards = partition_users(sorted(trace.users_seen()), n_shards)
+        for owned in shards:
+            amplified_then_sharded = shard_trace(
+                amplify_trace(trace, multiplier), set(owned)
+            )
+            sharded_then_amplified = amplify_trace(
+                shard_trace(trace, set(owned)), multiplier
+            )
+            assert [
+                (type(e).__name__, e.at) for e in amplified_then_sharded.events
+            ] == [
+                (type(e).__name__, e.at)
+                for e in sharded_then_amplified.events
+            ]
